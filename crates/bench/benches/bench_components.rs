@@ -1,0 +1,88 @@
+//! Component microbenchmarks: the individual solvers and substrates the
+//! experiments are built from.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use swcc_core::bus::analyze_bus;
+use swcc_core::network::{analyze_network, solve};
+use swcc_core::queue::machine_repairman;
+use swcc_core::scheme::Scheme;
+use swcc_core::system::BusSystemModel;
+use swcc_core::workload::WorkloadParams;
+use swcc_sim::measure::measure_workload;
+use swcc_sim::{simulate, ProtocolKind, SimConfig};
+use swcc_trace::synth::Preset;
+
+fn model_solvers(c: &mut Criterion) {
+    let w = WorkloadParams::default();
+    let sys = BusSystemModel::new();
+    c.bench_function("scheme_mix_dragon", |b| {
+        b.iter(|| black_box(Scheme::Dragon.mix(&w)))
+    });
+    c.bench_function("mva_16_customers", |b| {
+        b.iter(|| machine_repairman(black_box(16), 0.37, 1.2).unwrap())
+    });
+    c.bench_function("mva_1024_customers", |b| {
+        b.iter(|| machine_repairman(black_box(1024), 0.37, 1.2).unwrap())
+    });
+    c.bench_function("patel_fixed_point_8_stages", |b| {
+        b.iter(|| solve(black_box(0.03), 20.0, 8).unwrap())
+    });
+    c.bench_function("analyze_bus_dragon_16", |b| {
+        b.iter(|| analyze_bus(Scheme::Dragon, &w, &sys, black_box(16)).unwrap())
+    });
+    c.bench_function("analyze_network_sf_256cpu", |b| {
+        b.iter(|| analyze_network(Scheme::SoftwareFlush, &w, black_box(8)).unwrap())
+    });
+}
+
+fn substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
+    let instructions = 20_000usize;
+    let trace = Preset::Pops.config(4, instructions, 7).generate();
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("trace_generation_4cpu", |b| {
+        b.iter(|| black_box(Preset::Pops.config(4, instructions, 7).generate()))
+    });
+    for protocol in ProtocolKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("simulate", protocol.to_string()),
+            &protocol,
+            |b, &p| {
+                let cfg = SimConfig::new(p);
+                b.iter(|| black_box(simulate(&trace, &cfg)))
+            },
+        );
+    }
+    group.bench_function("measure_workload_4cpu", |b| {
+        let cfg = SimConfig::new(ProtocolKind::Dragon);
+        b.iter(|| black_box(measure_workload(&trace, &cfg)))
+    });
+    // The two network fabrics at 16 processors.
+    let w = WorkloadParams::default();
+    let net_cfg = swcc_sim::NetworkSimConfig {
+        stages: 4,
+        instructions_per_cpu: 5_000,
+        seed: 7,
+    };
+    group.bench_function("netsim_circuit_16cpu", |b| {
+        b.iter(|| {
+            swcc_sim::simulate_network(Scheme::SoftwareFlush, &w, &net_cfg).unwrap()
+        })
+    });
+    group.bench_function("netsim_packet_16cpu", |b| {
+        b.iter(|| {
+            swcc_sim::simulate_network_packet(Scheme::SoftwareFlush, &w, &net_cfg).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, model_solvers, substrates);
+criterion_main!(benches);

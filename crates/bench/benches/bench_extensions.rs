@@ -1,0 +1,34 @@
+//! Benchmarks for the extension experiments (packet switching,
+//! directory hardware, network-simulator validation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swcc_bench::bench_options;
+use swcc_experiments::registry::find;
+
+fn extensions(c: &mut Criterion) {
+    let opts = bench_options();
+    // Model-only extensions: full sampling.
+    for id in ["ext_packet", "ext_directory", "ext_invalidate"] {
+        let exp = find(id).unwrap_or_else(|| panic!("{id} registered"));
+        println!("{}", (exp.run)(&opts).render());
+        c.bench_function(id, |b| b.iter(|| black_box((exp.run)(&opts))));
+    }
+    // Simulation-backed: reduced samples.
+    let mut group = c.benchmark_group("extensions_sim");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    for id in ["ext_netsim", "ext_tracenet", "ext_service"] {
+        let exp = find(id).unwrap_or_else(|| panic!("{id} registered"));
+        println!("{}", (exp.run)(&opts).render());
+        group.bench_function(id, |b| b.iter(|| black_box((exp.run)(&opts))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, extensions);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! One benchmark per model-driven figure (Figures 4–11): regenerates
+//! the artifact (printed once, so bench logs double as reproduction
+//! logs) and times the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swcc_bench::bench_options;
+use swcc_experiments::registry::find;
+
+fn figures(c: &mut Criterion) {
+    let opts = bench_options();
+    for n in 4..=11 {
+        let id: &'static str = Box::leak(format!("fig{n}").into_boxed_str());
+        let exp = find(id).unwrap_or_else(|| panic!("{id} registered"));
+        println!("{}", (exp.run)(&opts).render());
+        c.bench_function(id, |b| b.iter(|| black_box((exp.run)(&opts))));
+    }
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! One benchmark per paper table: regenerates the artifact and times it.
+//!
+//! The table experiments are pure model evaluation; their benchmarks
+//! double as regression guards on the cost of the analytical pipeline
+//! (mix construction, demand, MVA, sensitivity sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swcc_bench::bench_options;
+use swcc_experiments::registry::find;
+
+fn bench_table(c: &mut Criterion, id: &'static str) {
+    let exp = find(id).unwrap_or_else(|| panic!("{id} registered"));
+    let opts = bench_options();
+    // Render once so `cargo bench` output doubles as a reproduction log.
+    println!("{}", (exp.run)(&opts).render());
+    c.bench_function(id, |b| b.iter(|| black_box((exp.run)(&opts))));
+}
+
+fn tables(c: &mut Criterion) {
+    for n in 1..=9 {
+        // table8 is the only heavy one (44 MVA solves); all are cheap.
+        bench_table(c, Box::leak(format!("table{n}").into_boxed_str()));
+    }
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks for the simulation-backed validation figures (1–3).
+//!
+//! These dominate `cargo bench` wall time: each iteration generates
+//! synthetic traces and replays them through the multiprocessor
+//! simulator, so sample counts are reduced.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use swcc_bench::bench_options;
+use swcc_experiments::registry::find;
+
+fn validation(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("validation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20))
+        .warm_up_time(Duration::from_secs(3));
+    for id in ["fig1", "fig2", "fig3"] {
+        let exp = find(id).unwrap_or_else(|| panic!("{id} registered"));
+        println!("{}", (exp.run)(&opts).render());
+        group.bench_function(id, |b| b.iter(|| black_box((exp.run)(&opts))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, validation);
+criterion_main!(benches);

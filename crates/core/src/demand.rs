@@ -1,0 +1,198 @@
+//! Per-instruction demand: the paper's Equations 1 and 2.
+//!
+//! Combining a scheme's [`OperationMix`] with a [`CostModel`] yields the
+//! average cycles per instruction:
+//!
+//! * `c = Σ freq(op) · cycles(op, cpu)` — total CPU cycles (Eq. 1), and
+//! * `b = Σ freq(op) · cycles(op, interconnect)` — bus/network cycles
+//!   (Eq. 2).
+//!
+//! `b` is the average interconnect transaction service time per
+//! instruction and `1/(c − b)` the average transaction rate: transactions
+//! are generated once every `c − b` processor cycles and each holds the
+//! interconnect for `b` cycles on average.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, Result};
+use crate::scheme::{OperationMix, Scheme};
+use crate::system::CostModel;
+use crate::workload::WorkloadParams;
+
+/// Average per-instruction demand `(c, b)` in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    cpu: f64,
+    interconnect: f64,
+}
+
+impl Demand {
+    /// Average CPU cycles per instruction, `c` (Eq. 1). Includes the
+    /// cycles during which the interconnect is held.
+    pub fn cpu(&self) -> f64 {
+        self.cpu
+    }
+
+    /// Average interconnect cycles per instruction, `b` (Eq. 2).
+    pub fn interconnect(&self) -> f64 {
+        self.interconnect
+    }
+
+    /// Processor "think time" between transactions, `c − b`.
+    pub fn think_time(&self) -> f64 {
+        self.cpu - self.interconnect
+    }
+
+    /// Average transaction rate `m = 1/(c − b)` in transactions per
+    /// processor cycle.
+    pub fn transaction_rate(&self) -> f64 {
+        1.0 / self.think_time()
+    }
+
+    /// Average transaction service time `t = b` in cycles.
+    pub fn transaction_size(&self) -> f64 {
+        self.interconnect
+    }
+}
+
+impl fmt::Display for Demand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c = {:.4} cpu cycles/instr, b = {:.4} interconnect cycles/instr",
+            self.cpu, self.interconnect
+        )
+    }
+}
+
+/// Computes the per-instruction demand of an operation mix under a cost
+/// model (Eqs. 1–2).
+///
+/// # Errors
+///
+/// Returns [`ModelError::UnsupportedOperation`] if the mix contains an
+/// operation the cost model does not define — e.g. a Dragon
+/// write-broadcast evaluated against the multistage-network model.
+pub fn demand<M: CostModel>(mix: &OperationMix, system: &M) -> Result<Demand> {
+    let mut cpu = 0.0;
+    let mut interconnect = 0.0;
+    for (op, freq) in mix.iter() {
+        let cost = system
+            .cost(op)
+            .ok_or(ModelError::UnsupportedOperation {
+                operation: op,
+                model: system.model_name(),
+            })?;
+        cpu += freq * f64::from(cost.cpu());
+        interconnect += freq * f64::from(cost.interconnect());
+    }
+    Ok(Demand { cpu, interconnect })
+}
+
+/// Convenience: demand of a scheme under a workload and cost model.
+///
+/// Equivalent to `demand(&scheme.mix(workload), system)`.
+///
+/// # Errors
+///
+/// Propagates [`ModelError::UnsupportedOperation`] from [`demand`].
+pub fn scheme_demand<M: CostModel>(
+    scheme: Scheme,
+    workload: &WorkloadParams,
+    system: &M,
+) -> Result<Demand> {
+    demand(&scheme.mix(workload), system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{BusSystemModel, NetworkSystemModel};
+    use crate::workload::{Level, ParamId};
+
+    #[test]
+    fn base_demand_matches_hand_computation() {
+        // miss = 0.0064; clean = 0.00512, dirty = 0.00128.
+        // c = 1 + 0.00512*10 + 0.00128*14 = 1.06912
+        // b = 0.00512*7 + 0.00128*11 = 0.04992
+        let w = WorkloadParams::at_level(Level::Middle);
+        let d = scheme_demand(Scheme::Base, &w, &BusSystemModel::new()).unwrap();
+        assert!((d.cpu() - 1.06912).abs() < 1e-10);
+        assert!((d.interconnect() - 0.04992).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cpu_always_exceeds_interconnect() {
+        let sys = BusSystemModel::new();
+        for level in Level::ALL {
+            let w = WorkloadParams::at_level(level);
+            for s in Scheme::ALL {
+                let d = scheme_demand(s, &w, &sys).unwrap();
+                assert!(d.cpu() > d.interconnect(), "{s} at {level}");
+                assert!(d.think_time() >= 1.0, "{s} at {level}: every instruction \
+                     contributes at least its own execution cycle off the bus");
+            }
+        }
+    }
+
+    #[test]
+    fn dragon_on_network_is_unsupported() {
+        let w = WorkloadParams::default();
+        let err = scheme_demand(Scheme::Dragon, &w, &NetworkSystemModel::new(4)).unwrap_err();
+        assert!(matches!(err, ModelError::UnsupportedOperation { .. }));
+    }
+
+    #[test]
+    fn software_schemes_work_on_network() {
+        let w = WorkloadParams::default();
+        let net = NetworkSystemModel::new(8);
+        for s in [Scheme::Base, Scheme::NoCache, Scheme::SoftwareFlush] {
+            let d = scheme_demand(s, &w, &net).unwrap();
+            assert!(d.cpu() > 1.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn base_is_cheapest_when_sharing_exists() {
+        // §5.1: "Base performs best as long as shd > 0".
+        let sys = BusSystemModel::new();
+        let w = WorkloadParams::at_level(Level::Middle);
+        let base = scheme_demand(Scheme::Base, &w, &sys).unwrap();
+        for s in [Scheme::NoCache, Scheme::SoftwareFlush, Scheme::Dragon] {
+            let d = scheme_demand(s, &w, &sys).unwrap();
+            assert!(d.cpu() >= base.cpu(), "{s} cpu");
+            assert!(d.interconnect() >= base.interconnect(), "{s} bus");
+        }
+    }
+
+    #[test]
+    fn schemes_coincide_without_sharing() {
+        // §5.1: "If shd = 0 the schemes are identical" (up to Dragon's
+        // unshared stores, which cost nothing extra).
+        let sys = BusSystemModel::new();
+        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        let base = scheme_demand(Scheme::Base, &w, &sys).unwrap();
+        for s in Scheme::ALL {
+            let d = scheme_demand(s, &w, &sys).unwrap();
+            assert!((d.cpu() - base.cpu()).abs() < 1e-12, "{s}");
+            assert!((d.interconnect() - base.interconnect()).abs() < 1e-12, "{s}");
+        }
+    }
+
+    #[test]
+    fn transaction_rate_is_reciprocal_of_think_time() {
+        let w = WorkloadParams::default();
+        let d = scheme_demand(Scheme::Dragon, &w, &BusSystemModel::new()).unwrap();
+        assert!((d.transaction_rate() * d.think_time() - 1.0).abs() < 1e-12);
+        assert_eq!(d.transaction_size(), d.interconnect());
+    }
+
+    #[test]
+    fn empty_mix_has_zero_demand() {
+        let d = demand(&OperationMix::new(), &BusSystemModel::new()).unwrap();
+        assert_eq!(d.cpu(), 0.0);
+        assert_eq!(d.interconnect(), 0.0);
+    }
+}

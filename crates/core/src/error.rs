@@ -1,0 +1,139 @@
+//! Error types for the analytical model.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::scheme::Scheme;
+use crate::system::Operation;
+
+/// The error type returned by fallible operations in this crate.
+///
+/// Every public function that can fail returns `Result<T, ModelError>`.
+/// The variants identify the precise contract violation so callers can
+/// report actionable messages.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A workload parameter was outside its legal domain.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"shd"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable statement of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// A system model has no cost entry for the requested operation.
+    ///
+    /// This occurs, for example, when evaluating the Dragon scheme (which
+    /// emits `WriteBroadcast` operations) against the multistage-network
+    /// system model: snoopy write-broadcast has no meaning without a bus.
+    UnsupportedOperation {
+        /// The operation that has no cost entry.
+        operation: Operation,
+        /// Name of the system model that rejected it.
+        model: &'static str,
+    },
+    /// The requested scheme cannot be evaluated on the requested
+    /// interconnect (e.g. Dragon on a multistage network).
+    UnsupportedScheme {
+        /// The rejected scheme.
+        scheme: Scheme,
+        /// Name of the interconnect model.
+        interconnect: &'static str,
+    },
+    /// A configuration value (processor count, stage count, ...) was out
+    /// of range.
+    InvalidConfig {
+        /// Name of the offending knob.
+        name: &'static str,
+        /// Human-readable statement of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// An iterative solver failed to converge.
+    ///
+    /// This should not happen for well-formed inputs; it is reported
+    /// rather than panicking so that parameter sweeps can skip bad points.
+    Convergence {
+        /// Which solver failed.
+        solver: &'static str,
+        /// Residual magnitude at the final iterate.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid workload parameter {name} = {value}: {reason}")
+            }
+            ModelError::UnsupportedOperation { operation, model } => {
+                write!(f, "operation {operation} is not costed by the {model} system model")
+            }
+            ModelError::UnsupportedScheme {
+                scheme,
+                interconnect,
+            } => {
+                write!(f, "scheme {scheme} cannot run on a {interconnect} interconnect")
+            }
+            ModelError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration {name}: {reason}")
+            }
+            ModelError::Convergence { solver, residual } => {
+                write!(f, "{solver} failed to converge (residual {residual:e})")
+            }
+        }
+    }
+}
+
+impl StdError for ModelError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = ModelError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = ModelError::InvalidParameter {
+            name: "shd",
+            value: 1.5,
+            reason: "must lie in [0, 1]",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("shd"));
+        assert!(msg.contains("1.5"));
+        assert!(msg.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn display_unsupported_scheme() {
+        let e = ModelError::UnsupportedScheme {
+            scheme: Scheme::Dragon,
+            interconnect: "multistage network",
+        };
+        assert!(e.to_string().contains("Dragon"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn display_convergence() {
+        let e = ModelError::Convergence {
+            solver: "patel fixed point",
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("patel"));
+    }
+}

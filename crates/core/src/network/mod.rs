@@ -1,0 +1,245 @@
+//! Network performance analysis: processor utilization and processing
+//! power on a circuit-switched multistage interconnection network
+//! (paper §6).
+//!
+//! The workload model is unchanged; the system model is Table 9
+//! ([`crate::system::NetworkSystemModel`]) and contention comes from
+//! Patel's fixed point ([`patel`]). Only Base, No-Cache, and
+//! Software-Flush are defined here — Dragon needs a snoopy bus.
+
+pub mod packet;
+pub mod patel;
+
+pub use packet::{analyze_network_packet, PacketPerformance};
+pub use patel::{propagate, solve, OperatingPoint};
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::demand::{scheme_demand, Demand};
+use crate::error::{ModelError, Result};
+use crate::scheme::Scheme;
+use crate::system::NetworkSystemModel;
+use crate::workload::WorkloadParams;
+
+/// The predicted performance of one scheme on a multistage network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkPerformance {
+    scheme: Scheme,
+    stages: u32,
+    demand: Demand,
+    point: OperatingPoint,
+}
+
+impl NetworkPerformance {
+    /// The scheme analyzed.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Network stage count `n` (`2^n` processors).
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> u32 {
+        1 << self.stages
+    }
+
+    /// The per-instruction demand `(c, b)` under the Table 9 cost model
+    /// (CPU times include the uncontended network round trip).
+    pub fn demand(&self) -> Demand {
+        self.demand
+    }
+
+    /// The solved Patel operating point.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.point
+    }
+
+    /// Effective processor utilization in productive instructions per
+    /// cycle — directly comparable to the bus model's `U = 1/(c+w)`.
+    ///
+    /// At light load this equals `1/c`.
+    pub fn utilization(&self) -> f64 {
+        // throughput() is transactions (≡ instructions) per cycle.
+        self.point.throughput()
+    }
+
+    /// Processing power `n_processors · utilization`.
+    pub fn power(&self) -> f64 {
+        f64::from(self.processors()) * self.utilization()
+    }
+}
+
+impl fmt::Display for NetworkPerformance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} cpus ({} stages): U={:.4} power={:.2}",
+            self.scheme,
+            self.processors(),
+            self.stages,
+            self.utilization(),
+            self.power()
+        )
+    }
+}
+
+/// Analyzes one scheme on a multistage network of the given stage count.
+///
+/// # Errors
+///
+/// Returns [`ModelError::UnsupportedScheme`] for [`Scheme::Dragon`]
+/// (snoopy protocols require a broadcast bus), and propagates solver
+/// errors (which cannot occur for valid workloads).
+///
+/// # Examples
+///
+/// ```
+/// use swcc_core::network::analyze_network;
+/// use swcc_core::scheme::Scheme;
+/// use swcc_core::workload::WorkloadParams;
+///
+/// # fn main() -> Result<(), swcc_core::ModelError> {
+/// let w = WorkloadParams::default();
+/// // 256 processors = 8 stages.
+/// let sf = analyze_network(Scheme::SoftwareFlush, &w, 8)?;
+/// let nc = analyze_network(Scheme::NoCache, &w, 8)?;
+/// assert!(sf.power() > nc.power());
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_network(
+    scheme: Scheme,
+    workload: &WorkloadParams,
+    stages: u32,
+) -> Result<NetworkPerformance> {
+    if scheme.requires_bus() {
+        return Err(ModelError::UnsupportedScheme {
+            scheme,
+            interconnect: "multistage network",
+        });
+    }
+    let system = NetworkSystemModel::new(stages);
+    let demand = scheme_demand(scheme, workload, &system)?;
+    let point = patel::solve(demand.transaction_rate(), demand.transaction_size(), stages)?;
+    Ok(NetworkPerformance {
+        scheme,
+        stages,
+        demand,
+        point,
+    })
+}
+
+/// Sweeps stage count from 0 to `max_stages` (1 to `2^max_stages`
+/// processors).
+///
+/// # Errors
+///
+/// Propagates errors from [`analyze_network`].
+pub fn network_power_curve(
+    scheme: Scheme,
+    workload: &WorkloadParams,
+    max_stages: u32,
+) -> Result<Vec<NetworkPerformance>> {
+    (0..=max_stages)
+        .map(|s| analyze_network(scheme, workload, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Level, ParamId};
+
+    #[test]
+    fn dragon_is_rejected() {
+        let w = WorkloadParams::default();
+        let err = analyze_network(Scheme::Dragon, &w, 4).unwrap_err();
+        assert!(matches!(err, ModelError::UnsupportedScheme { .. }));
+    }
+
+    #[test]
+    fn both_software_schemes_scale_with_processors() {
+        // §7: "Both software schemes scale well."
+        let w = WorkloadParams::at_level(Level::Middle);
+        for s in [Scheme::NoCache, Scheme::SoftwareFlush] {
+            let curve = network_power_curve(s, &w, 10).unwrap();
+            for pair in curve.windows(2) {
+                assert!(
+                    pair[1].power() > pair[0].power(),
+                    "{s}: power must grow with network size"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn software_flush_beats_no_cache_on_network() {
+        // §6.3: Software-Flush is "clearly more efficient"; No-Cache is
+        // poorer despite smaller messages, due to its higher request rate.
+        let w = WorkloadParams::at_level(Level::Middle);
+        for stages in [4, 6, 8, 10] {
+            let sf = analyze_network(Scheme::SoftwareFlush, &w, stages).unwrap();
+            let nc = analyze_network(Scheme::NoCache, &w, stages).unwrap();
+            assert!(sf.power() > nc.power(), "at {stages} stages");
+        }
+    }
+
+    #[test]
+    fn base_dominates_on_network() {
+        let w = WorkloadParams::at_level(Level::Middle);
+        let b = analyze_network(Scheme::Base, &w, 8).unwrap();
+        let sf = analyze_network(Scheme::SoftwareFlush, &w, 8).unwrap();
+        let nc = analyze_network(Scheme::NoCache, &w, 8).unwrap();
+        assert!(b.power() >= sf.power() && sf.power() >= nc.power());
+    }
+
+    #[test]
+    fn light_load_utilization_approaches_one_over_c() {
+        let w = WorkloadParams::at_level(Level::Low);
+        let p = analyze_network(Scheme::Base, &w, 2).unwrap();
+        let ideal = 1.0 / p.demand().cpu();
+        assert!(p.utilization() <= ideal + 1e-12);
+        assert!(p.utilization() > 0.95 * ideal);
+    }
+
+    #[test]
+    fn processors_match_stage_count() {
+        let w = WorkloadParams::default();
+        let p = analyze_network(Scheme::Base, &w, 8).unwrap();
+        assert_eq!(p.processors(), 256);
+    }
+
+    #[test]
+    fn no_cache_with_low_sharing_is_feasible() {
+        // §6.3: No-Cache is "efficient only if sharing is very low", and
+        // in the low range it lands in the reasonable class.
+        let w = WorkloadParams::at_level(Level::Low);
+        let p = analyze_network(Scheme::NoCache, &w, 8).unwrap();
+        assert!(p.utilization() > 0.3, "U = {}", p.utilization());
+    }
+
+    #[test]
+    fn no_cache_with_high_sharing_is_abysmal() {
+        // §1: "the efficiency of the No-Cache scheme becomes abysmal even
+        // with moderate workload" on a network.
+        let w = WorkloadParams::at_level(Level::High);
+        let p = analyze_network(Scheme::NoCache, &w, 8).unwrap();
+        assert!(p.utilization() < 0.15, "U = {}", p.utilization());
+    }
+
+    #[test]
+    fn high_apl_closes_the_gap_to_base() {
+        // §6.3: with high apl, Software-Flush approaches directory-like
+        // (Base-like) performance.
+        let w = WorkloadParams::at_level(Level::Middle);
+        let generous = w.with_param(ParamId::Apl, 100.0).unwrap();
+        let sf = analyze_network(Scheme::SoftwareFlush, &generous, 8).unwrap();
+        let base = analyze_network(Scheme::Base, &generous, 8).unwrap();
+        assert!(sf.power() > 0.85 * base.power());
+    }
+}

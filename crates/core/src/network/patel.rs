@@ -1,0 +1,267 @@
+//! Patel's probabilistic model of an unbuffered, circuit-switched
+//! multistage interconnection network (paper §6.2).
+//!
+//! The network is a Banyan/Omega/Delta of 2×2 crossbars with unit
+//! dilation. A request travels through `n` switch stages; if two
+//! messages contend for an output port one is forwarded and the other
+//! dropped (the source retries). Under the *unit-request approximation*
+//! a processor that needs `t` interconnect cycles per transaction at
+//! rate `m` transactions/cycle is treated as issuing `m·t` independent
+//! unit-time requests per cycle.
+//!
+//! With `m_i` the probability of a request at an input of stage `i`, the
+//! paper's system of equations is
+//!
+//! ```text
+//! m_{i+1} = 1 − (1 − m_i/2)²    0 ≤ i < n       (stage propagation)
+//! m_0     = 1 − U                               (offered load)
+//! U       = m_n / (m·t)                         (consistency)
+//! ```
+//!
+//! `U` is the fraction of time the processor is doing CPU work ("think
+//! fraction"); whenever it is not, it is presenting a (re)request at the
+//! network input, hence `m_0 = 1 − U`. The accepted unit-request rate at
+//! the memory side is `m_n`, and consistency requires it to equal the
+//! demand `U·m·t`. The fixed point is solved by bisection (the residual
+//! is strictly decreasing in `U`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, Result};
+
+/// Propagates an offered load through `stages` stages of 2×2 crossbars.
+///
+/// Returns the request probability at the memory side. The propagation
+/// function `f(m) = 1 − (1 − m/2)²` maps `[0, 1]` into `[0, 3/4]`,
+/// modelling dropped requests under contention.
+pub fn propagate(m0: f64, stages: u32) -> f64 {
+    let mut m = m0.clamp(0.0, 1.0);
+    for _ in 0..stages {
+        let pass = 1.0 - m / 2.0;
+        m = 1.0 - pass * pass;
+    }
+    m
+}
+
+/// The solved operating point of the network for one `(m, t)` demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    stages: u32,
+    rate: f64,
+    size: f64,
+    think_fraction: f64,
+    accepted: f64,
+}
+
+impl OperatingPoint {
+    /// Number of network stages `n`.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Offered transaction rate `m` (transactions per processor cycle).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Transaction size `t` (interconnect cycles per transaction).
+    pub fn size(&self) -> f64 {
+        self.size
+    }
+
+    /// The paper's `U`: fraction of time the processor computes (thinks)
+    /// rather than waits on the network.
+    pub fn think_fraction(&self) -> f64 {
+        self.think_fraction
+    }
+
+    /// Accepted unit-request rate at the memory side, `m_n`.
+    pub fn accepted_rate(&self) -> f64 {
+        self.accepted
+    }
+
+    /// Throughput in transactions per cycle: `U·m = m_n / t`.
+    ///
+    /// When `m = 1/(c−b)` and `t = b` come from a per-instruction demand,
+    /// this is instructions per cycle — directly comparable to the bus
+    /// model's `U = 1/(c+w)`.
+    pub fn throughput(&self) -> f64 {
+        if self.size == 0.0 {
+            // No network demand: the processor is limited only by think
+            // time; one transaction per think period.
+            self.rate
+        } else {
+            self.accepted / self.size
+        }
+    }
+}
+
+/// Solves the fixed point for a processor offering transactions of size
+/// `size` cycles at `rate` transactions per cycle through a network of
+/// `stages` stages.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] if `rate` or `size` is negative
+/// or non-finite, and [`ModelError::Convergence`] if bisection fails to
+/// bracket a root (which cannot happen for valid inputs; it is checked
+/// defensively).
+pub fn solve(rate: f64, size: f64, stages: u32) -> Result<OperatingPoint> {
+    if !rate.is_finite() || rate < 0.0 {
+        return Err(ModelError::InvalidConfig {
+            name: "rate",
+            reason: "must be finite and non-negative",
+        });
+    }
+    if !size.is_finite() || size < 0.0 {
+        return Err(ModelError::InvalidConfig {
+            name: "size",
+            reason: "must be finite and non-negative",
+        });
+    }
+    let demand = rate * size;
+    if demand == 0.0 {
+        // The processor never uses the network: it thinks all the time.
+        return Ok(OperatingPoint {
+            stages,
+            rate,
+            size,
+            think_fraction: 1.0,
+            accepted: 0.0,
+        });
+    }
+    // Residual f(U) = m_n(1−U) − U·m·t is strictly decreasing:
+    // f(0) = propagate(1) ≥ 0, f(1) = −m·t < 0.
+    let residual = |u: f64| propagate(1.0 - u, stages) - u * demand;
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    if residual(lo) < 0.0 {
+        return Err(ModelError::Convergence {
+            solver: "patel fixed point",
+            residual: residual(lo),
+        });
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if residual(mid) >= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let u = 0.5 * (lo + hi);
+    Ok(OperatingPoint {
+        stages,
+        rate,
+        size,
+        think_fraction: u,
+        accepted: u * demand,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_is_identity_for_zero_stages() {
+        assert_eq!(propagate(0.4, 0), 0.4);
+    }
+
+    #[test]
+    fn propagation_attenuates_heavy_load() {
+        // One saturated stage passes 3/4 of unit load.
+        assert!((propagate(1.0, 1) - 0.75).abs() < 1e-12);
+        // Light load passes almost unchanged.
+        assert!((propagate(0.01, 1) - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn propagation_is_monotone_in_load() {
+        for stages in [1u32, 4, 8] {
+            let mut prev = 0.0;
+            for i in 0..=100 {
+                let m = f64::from(i) / 100.0;
+                let out = propagate(m, stages);
+                assert!(out >= prev - 1e-12);
+                assert!(out <= m + 1e-12, "network cannot create requests");
+                prev = out;
+            }
+        }
+    }
+
+    #[test]
+    fn light_load_limit_matches_bus_model() {
+        // At negligible demand, throughput·(1/m) → ... U → 1/(1 + m·t),
+        // so transactions/cycle → 1/(1/m + t), i.e. 1/c for m = 1/(c−b),
+        // t = b.
+        let c = 1.5;
+        let b = 0.01;
+        let op = solve(1.0 / (c - b), b, 8).unwrap();
+        // Contention at these rates is small but not zero.
+        assert!((op.throughput() - 1.0 / c).abs() < 0.05 / c);
+        assert!(op.throughput() <= 1.0 / c + 1e-12);
+    }
+
+    #[test]
+    fn fixed_point_satisfies_papers_equations() {
+        let (m, t, n) = (0.03, 20.0, 8);
+        let op = solve(m, t, n).unwrap();
+        let u = op.think_fraction();
+        let mn = propagate(1.0 - u, n);
+        assert!((mn - u * m * t).abs() < 1e-9, "consistency equation");
+        assert!((op.accepted_rate() - mn).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_halved_utilization() {
+        // §6.3: 256 processors (n=8), 3% miss rate, message size 4 words
+        // plus 2n = unit-rate 0.6 — "the processor utilization is halved".
+        let op = solve(0.03, 20.0, 8).unwrap();
+        let u = op.think_fraction();
+        assert!((0.40..=0.60).contains(&u), "got U = {u}");
+    }
+
+    #[test]
+    fn zero_demand_thinks_full_time() {
+        let op = solve(0.0, 10.0, 8).unwrap();
+        assert_eq!(op.think_fraction(), 1.0);
+        let op = solve(0.5, 0.0, 8).unwrap();
+        assert_eq!(op.think_fraction(), 1.0);
+        assert_eq!(op.throughput(), 0.5);
+    }
+
+    #[test]
+    fn utilization_decreases_with_rate() {
+        let mut prev = 1.0;
+        for i in 1..=50 {
+            let m = f64::from(i) * 0.002;
+            let u = solve(m, 20.0, 8).unwrap().think_fraction();
+            assert!(u <= prev + 1e-12);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn utilization_decreases_with_message_size() {
+        let mut prev = 1.0;
+        for t in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            let u = solve(0.02, t + 16.0, 8).unwrap().think_fraction();
+            assert!(u < prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn more_stages_do_not_increase_acceptance() {
+        let small = solve(0.05, 10.0, 2).unwrap();
+        let large = solve(0.05, 10.0, 10).unwrap();
+        assert!(large.think_fraction() <= small.think_fraction() + 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(solve(-0.1, 1.0, 4).is_err());
+        assert!(solve(0.1, f64::INFINITY, 4).is_err());
+        assert!(solve(f64::NAN, 1.0, 4).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! The Dragon scheme (paper Table 6): a write-update snoopy protocol.
+//!
+//! Dragon was selected as the hardware comparison point because Archibald
+//! and Baer found its performance among the best of the snoopy protocols.
+//! Three effects are modeled (§2.2.4):
+//!
+//! 1. **Write-broadcast.** A store to a block that is present in another
+//!    cache (probability `shd·opres` per store) broadcasts the word on the
+//!    bus; all stores to unshared blocks complete locally.
+//! 2. **Cache-to-cache transfer.** A miss on a block that is dirty in
+//!    another cache (probability `shd·(1 − oclean)`) is satisfied by that
+//!    cache instead of memory, one cycle faster.
+//! 3. **Cycle stealing.** Each write-broadcast causes the `nshd` other
+//!    caches holding the block to steal one processor cycle while
+//!    updating their copy.
+//!
+//! The paper notes effects 2 and 3 are small; the ablation benchmark
+//! `dragon_terms` in `swcc-bench` quantifies that claim.
+
+use crate::scheme::OperationMix;
+use crate::system::{MissSource, Operation};
+use crate::workload::WorkloadParams;
+
+/// Table 6: operation frequencies for the Dragon scheme.
+pub fn mix(w: &WorkloadParams) -> OperationMix {
+    mix_with_terms(w, DragonTerms::default())
+}
+
+/// Which second-order Dragon effects to include.
+///
+/// The paper remarks that cache-to-cache sourcing and cycle stealing
+/// "could have been omitted from the model without significantly
+/// affecting our results"; this switch lets the ablation benchmark test
+/// that claim. [`mix`] includes everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DragonTerms {
+    /// Model misses satisfied from another cache (effect 2).
+    pub cache_to_cache: bool,
+    /// Model cycles stolen by snooping caches on broadcasts (effect 3).
+    pub cycle_stealing: bool,
+}
+
+impl Default for DragonTerms {
+    fn default() -> Self {
+        DragonTerms {
+            cache_to_cache: true,
+            cycle_stealing: true,
+        }
+    }
+}
+
+/// Table 6 with selectable second-order terms.
+pub fn mix_with_terms(w: &WorkloadParams, terms: DragonTerms) -> OperationMix {
+    let data_miss = w.ls() * w.msdat();
+    // Probability a miss is satisfied from another cache.
+    let from_cache = if terms.cache_to_cache {
+        w.shd() * (1.0 - w.oclean())
+    } else {
+        0.0
+    };
+    let mem_miss = data_miss * (1.0 - from_cache) + w.mains();
+    let cache_miss = data_miss * from_cache;
+    let broadcast = w.ls() * w.shd() * w.wr() * w.opres();
+    let mut m = OperationMix::new();
+    m.push(Operation::Instruction, 1.0);
+    m.push(Operation::CleanMiss(MissSource::Memory), mem_miss * (1.0 - w.md()));
+    m.push(Operation::DirtyMiss(MissSource::Memory), mem_miss * w.md());
+    m.push(Operation::WriteBroadcast, broadcast);
+    m.push(Operation::CleanMiss(MissSource::Cache), cache_miss * (1.0 - w.md()));
+    m.push(Operation::DirtyMiss(MissSource::Cache), cache_miss * w.md());
+    if terms.cycle_stealing {
+        m.push(Operation::CycleSteal, broadcast * w.nshd());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Level, ParamId};
+
+    #[test]
+    fn middle_values_match_hand_computation() {
+        // ls=0.3, msdat=0.014, mains=0.0022, md=0.2, shd=0.25,
+        // wr=0.25, oclean=0.84, opres=0.79, nshd=1.
+        let w = WorkloadParams::at_level(Level::Middle);
+        let m = mix(&w);
+        let from_cache = 0.25 * (1.0 - 0.84); // 0.04
+        let mem_miss = 0.3 * 0.014 * (1.0 - from_cache) + 0.0022;
+        let cache_miss = 0.3 * 0.014 * from_cache;
+        let bcast = 0.3 * 0.25 * 0.25 * 0.79;
+        assert!((m.freq(Operation::CleanMiss(MissSource::Memory)) - mem_miss * 0.8).abs() < 1e-12);
+        assert!((m.freq(Operation::DirtyMiss(MissSource::Memory)) - mem_miss * 0.2).abs() < 1e-12);
+        assert!((m.freq(Operation::CleanMiss(MissSource::Cache)) - cache_miss * 0.8).abs() < 1e-12);
+        assert!((m.freq(Operation::DirtyMiss(MissSource::Cache)) - cache_miss * 0.2).abs() < 1e-12);
+        assert!((m.freq(Operation::WriteBroadcast) - bcast).abs() < 1e-12);
+        assert!((m.freq(Operation::CycleSteal) - bcast * 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_data_misses_are_conserved() {
+        // Splitting misses between memory and cache sources must not
+        // change the total miss rate.
+        for level in Level::ALL {
+            let w = WorkloadParams::at_level(level);
+            let m = mix(&w);
+            let total = m.freq(Operation::CleanMiss(MissSource::Memory))
+                + m.freq(Operation::DirtyMiss(MissSource::Memory))
+                + m.freq(Operation::CleanMiss(MissSource::Cache))
+                + m.freq(Operation::DirtyMiss(MissSource::Cache));
+            assert!((total - (w.ls() * w.msdat() + w.mains())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_sharing_reduces_to_base() {
+        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        assert_eq!(mix(&w), crate::scheme::base::mix(&w));
+    }
+
+    #[test]
+    fn cycle_steals_scale_with_nshd() {
+        let w1 = WorkloadParams::default().with_param(ParamId::Nshd, 1.0).unwrap();
+        let w7 = WorkloadParams::default().with_param(ParamId::Nshd, 7.0).unwrap();
+        let s1 = mix(&w1).freq(Operation::CycleSteal);
+        let s7 = mix(&w7).freq(Operation::CycleSteal);
+        assert!((s7 - 7.0 * s1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablated_terms_remove_their_operations() {
+        let w = WorkloadParams::default();
+        let m = mix_with_terms(
+            &w,
+            DragonTerms {
+                cache_to_cache: false,
+                cycle_stealing: false,
+            },
+        );
+        assert_eq!(m.freq(Operation::CleanMiss(MissSource::Cache)), 0.0);
+        assert_eq!(m.freq(Operation::DirtyMiss(MissSource::Cache)), 0.0);
+        assert_eq!(m.freq(Operation::CycleSteal), 0.0);
+        // All misses fall back to memory.
+        let total = m.freq(Operation::CleanMiss(MissSource::Memory))
+            + m.freq(Operation::DirtyMiss(MissSource::Memory));
+        assert!((total - (w.ls() * w.msdat() + w.mains())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_rate_matches_sharing_and_write_rate() {
+        let w = WorkloadParams::at_level(Level::High);
+        let m = mix(&w);
+        assert!(
+            (m.freq(Operation::WriteBroadcast) - w.ls() * w.shd() * w.wr() * w.opres()).abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! The four cache-coherence schemes and their operation frequencies
+//! (paper Tables 3–6).
+//!
+//! Each scheme maps a [`WorkloadParams`] to an [`OperationMix`]: the
+//! expected number of occurrences of each hardware [`Operation`] per
+//! (non-flush) instruction. Combining a mix with a cost table
+//! ([`crate::system::CostModel`]) yields the per-instruction CPU and
+//! interconnect demand (Eqs. 1–2), computed in [`crate::demand`].
+
+pub mod base;
+pub mod dragon;
+pub mod no_cache;
+pub mod software_flush;
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::system::Operation;
+use crate::workload::WorkloadParams;
+
+/// A cache-coherence scheme evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scheme {
+    /// No coherence at all — an upper bound on performance.
+    Base,
+    /// Shared data is uncacheable; every shared reference goes to memory.
+    NoCache,
+    /// Shared data is cached between explicit flush instructions.
+    SoftwareFlush,
+    /// A Dragon-like write-update snoopy hardware protocol.
+    Dragon,
+}
+
+impl Scheme {
+    /// All four schemes, in the paper's order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Base,
+        Scheme::NoCache,
+        Scheme::SoftwareFlush,
+        Scheme::Dragon,
+    ];
+
+    /// The one-letter code used in the paper's Figure 11 labels
+    /// (`B`, `N`, `S`; Dragon has no network variant and has no code).
+    pub fn code(self) -> Option<char> {
+        match self {
+            Scheme::Base => Some('B'),
+            Scheme::NoCache => Some('N'),
+            Scheme::SoftwareFlush => Some('S'),
+            Scheme::Dragon => None,
+        }
+    }
+
+    /// Whether the scheme requires a broadcast medium (a snoopy bus).
+    ///
+    /// Dragon listens to all memory traffic and therefore cannot run on a
+    /// multistage network; the software schemes and Base can.
+    pub fn requires_bus(self) -> bool {
+        matches!(self, Scheme::Dragon)
+    }
+
+    /// The operation frequencies of this scheme under workload `w`
+    /// (Tables 3–6), per non-flush instruction.
+    pub fn mix(self, w: &WorkloadParams) -> OperationMix {
+        match self {
+            Scheme::Base => base::mix(w),
+            Scheme::NoCache => no_cache::mix(w),
+            Scheme::SoftwareFlush => software_flush::mix(w),
+            Scheme::Dragon => dragon::mix(w),
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scheme::Base => "Base",
+            Scheme::NoCache => "No-Cache",
+            Scheme::SoftwareFlush => "Software-Flush",
+            Scheme::Dragon => "Dragon",
+        })
+    }
+}
+
+/// Expected occurrences of each hardware operation per instruction.
+///
+/// Produced by [`Scheme::mix`]; consumed by [`crate::demand::demand`].
+/// Frequencies are expectations, not probabilities, and may exceed 1 for
+/// compound events (they never do for the paper's parameter ranges).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OperationMix {
+    entries: Vec<(Operation, f64)>,
+}
+
+impl OperationMix {
+    /// Creates an empty mix.
+    pub fn new() -> Self {
+        OperationMix::default()
+    }
+
+    /// Adds `freq` occurrences of `op` per instruction.
+    ///
+    /// Zero-frequency entries are dropped; repeated pushes of the same
+    /// operation accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq` is negative or non-finite (frequencies are
+    /// expectations and must be well-formed).
+    pub fn push(&mut self, op: Operation, freq: f64) {
+        assert!(
+            freq.is_finite() && freq >= 0.0,
+            "operation frequency must be finite and non-negative, got {freq} for {op}"
+        );
+        if freq == 0.0 {
+            return;
+        }
+        if let Some(entry) = self.entries.iter_mut().find(|(o, _)| *o == op) {
+            entry.1 += freq;
+        } else {
+            self.entries.push((op, freq));
+        }
+    }
+
+    /// The frequency of one operation (0 if absent).
+    pub fn freq(&self, op: Operation) -> f64 {
+        self.entries
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map_or(0.0, |&(_, f)| f)
+    }
+
+    /// Iterates over `(operation, frequency)` pairs with nonzero
+    /// frequency, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Operation, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of distinct operations in the mix.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the mix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(Operation, f64)> for OperationMix {
+    fn from_iter<I: IntoIterator<Item = (Operation, f64)>>(iter: I) -> Self {
+        let mut mix = OperationMix::new();
+        for (op, f) in iter {
+            mix.push(op, f);
+        }
+        mix
+    }
+}
+
+impl Extend<(Operation, f64)> for OperationMix {
+    fn extend<I: IntoIterator<Item = (Operation, f64)>>(&mut self, iter: I) {
+        for (op, f) in iter {
+            self.push(op, f);
+        }
+    }
+}
+
+impl fmt::Display for OperationMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (op, freq) in self.iter() {
+            writeln!(f, "{:<22} {freq:.6}", op.name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::MissSource;
+
+    #[test]
+    fn mix_accumulates_repeated_pushes() {
+        let mut m = OperationMix::new();
+        m.push(Operation::ReadThrough, 0.1);
+        m.push(Operation::ReadThrough, 0.2);
+        assert!((m.freq(Operation::ReadThrough) - 0.3).abs() < 1e-15);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn mix_drops_zero_frequency() {
+        let mut m = OperationMix::new();
+        m.push(Operation::WriteThrough, 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn mix_rejects_negative_frequency() {
+        let mut m = OperationMix::new();
+        m.push(Operation::WriteThrough, -0.1);
+    }
+
+    #[test]
+    fn mix_from_iterator() {
+        let m: OperationMix = [
+            (Operation::Instruction, 1.0),
+            (Operation::CleanMiss(MissSource::Memory), 0.01),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.freq(Operation::Instruction), 1.0);
+    }
+
+    #[test]
+    fn every_scheme_mix_includes_instruction_execution() {
+        let w = WorkloadParams::default();
+        for s in Scheme::ALL {
+            assert_eq!(s.mix(&w).freq(Operation::Instruction), 1.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn scheme_codes_match_figure11() {
+        assert_eq!(Scheme::Base.code(), Some('B'));
+        assert_eq!(Scheme::NoCache.code(), Some('N'));
+        assert_eq!(Scheme::SoftwareFlush.code(), Some('S'));
+        assert_eq!(Scheme::Dragon.code(), None);
+    }
+
+    #[test]
+    fn only_dragon_requires_bus() {
+        assert!(Scheme::Dragon.requires_bus());
+        assert!(!Scheme::Base.requires_bus());
+        assert!(!Scheme::NoCache.requires_bus());
+        assert!(!Scheme::SoftwareFlush.requires_bus());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scheme::SoftwareFlush.to_string(), "Software-Flush");
+        assert_eq!(Scheme::NoCache.to_string(), "No-Cache");
+    }
+}

@@ -1,0 +1,441 @@
+//! The *workload model*: the eleven parameters of Table 2 that
+//! characterize a parallel program's memory behaviour.
+//!
+//! A [`WorkloadParams`] value captures one workload. All fields are
+//! validated on construction (probabilities in `[0, 1]`, `apl >= 1`,
+//! `nshd >= 0`), so downstream code can rely on a well-formed parameter
+//! set. Construct one with [`WorkloadParams::builder`], or start from the
+//! paper's low/middle/high presets ([`WorkloadParams::at_level`],
+//! Table 7) and adjust individual parameters with
+//! [`WorkloadParams::with_param`].
+
+mod ranges;
+
+pub use ranges::{Level, ParamId, ParamRange, TABLE7_RANGES};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, Result};
+
+/// One workload: the Table 2 parameters.
+///
+/// | field    | meaning                                                                 |
+/// |----------|-------------------------------------------------------------------------|
+/// | `ls`     | probability an instruction is a load or store                            |
+/// | `msdat`  | miss rate for data                                                       |
+/// | `mains`  | miss rate for instructions                                               |
+/// | `md`     | probability a miss replaces a dirty block                                |
+/// | `shd`    | probability a load/store refers to shared data                           |
+/// | `wr`     | probability a data reference is a store                                  |
+/// | `apl`    | references to a shared block before it is flushed (Software-Flush)       |
+/// | `mdshd`  | probability a shared block is modified before it is flushed              |
+/// | `oclean` | on a shared-block miss, probability the block is not dirty elsewhere     |
+/// | `opres`  | on a shared-block reference, probability the block is present elsewhere  |
+/// | `nshd`   | on a write-broadcast, number of other caches holding the block           |
+///
+/// # Examples
+///
+/// ```
+/// use swcc_core::workload::{Level, ParamId, WorkloadParams};
+///
+/// # fn main() -> Result<(), swcc_core::ModelError> {
+/// let middle = WorkloadParams::at_level(Level::Middle);
+/// let heavy_sharing = middle.with_param(ParamId::Shd, 0.42)?;
+/// assert_eq!(heavy_sharing.shd(), 0.42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WorkloadParams {
+    ls: f64,
+    msdat: f64,
+    mains: f64,
+    md: f64,
+    shd: f64,
+    wr: f64,
+    apl: f64,
+    mdshd: f64,
+    oclean: f64,
+    opres: f64,
+    nshd: f64,
+}
+
+impl WorkloadParams {
+    /// Starts building a workload, seeded with the paper's *middle*
+    /// parameter values (Table 7).
+    pub fn builder() -> WorkloadParamsBuilder {
+        WorkloadParamsBuilder {
+            params: WorkloadParams::at_level(Level::Middle),
+        }
+    }
+
+    /// The paper's Table 7 preset at a uniform level.
+    ///
+    /// `Level::Low` is the workload most favourable to the software
+    /// schemes (little sharing, long flush intervals); `Level::High` the
+    /// least favourable.
+    pub fn at_level(level: Level) -> Self {
+        let v = |id: ParamId| ranges::TABLE7_RANGES.value(id, level);
+        WorkloadParams {
+            ls: v(ParamId::Ls),
+            msdat: v(ParamId::Msdat),
+            mains: v(ParamId::Mains),
+            md: v(ParamId::Md),
+            shd: v(ParamId::Shd),
+            wr: v(ParamId::Wr),
+            apl: v(ParamId::Apl),
+            mdshd: v(ParamId::Mdshd),
+            oclean: v(ParamId::Oclean),
+            opres: v(ParamId::Opres),
+            nshd: v(ParamId::Nshd),
+        }
+    }
+
+    /// Returns a copy with one parameter replaced, re-validating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `value` is outside the
+    /// parameter's legal domain.
+    pub fn with_param(mut self, id: ParamId, value: f64) -> Result<Self> {
+        validate(id.name(), value, id.domain())?;
+        match id {
+            ParamId::Ls => self.ls = value,
+            ParamId::Msdat => self.msdat = value,
+            ParamId::Mains => self.mains = value,
+            ParamId::Md => self.md = value,
+            ParamId::Shd => self.shd = value,
+            ParamId::Wr => self.wr = value,
+            ParamId::Apl => self.apl = value,
+            ParamId::Mdshd => self.mdshd = value,
+            ParamId::Oclean => self.oclean = value,
+            ParamId::Opres => self.opres = value,
+            ParamId::Nshd => self.nshd = value,
+        }
+        Ok(self)
+    }
+
+    /// Reads one parameter by id.
+    pub fn param(&self, id: ParamId) -> f64 {
+        match id {
+            ParamId::Ls => self.ls,
+            ParamId::Msdat => self.msdat,
+            ParamId::Mains => self.mains,
+            ParamId::Md => self.md,
+            ParamId::Shd => self.shd,
+            ParamId::Wr => self.wr,
+            ParamId::Apl => self.apl,
+            ParamId::Mdshd => self.mdshd,
+            ParamId::Oclean => self.oclean,
+            ParamId::Opres => self.opres,
+            ParamId::Nshd => self.nshd,
+        }
+    }
+
+    /// Probability an instruction is a load or store.
+    pub fn ls(&self) -> f64 {
+        self.ls
+    }
+
+    /// Data miss rate.
+    pub fn msdat(&self) -> f64 {
+        self.msdat
+    }
+
+    /// Instruction miss rate.
+    pub fn mains(&self) -> f64 {
+        self.mains
+    }
+
+    /// Probability a miss replaces a dirty block.
+    pub fn md(&self) -> f64 {
+        self.md
+    }
+
+    /// Probability a load or store refers to shared data.
+    pub fn shd(&self) -> f64 {
+        self.shd
+    }
+
+    /// Probability a data reference is a store.
+    pub fn wr(&self) -> f64 {
+        self.wr
+    }
+
+    /// Number of references to a shared block before it is flushed.
+    pub fn apl(&self) -> f64 {
+        self.apl
+    }
+
+    /// Probability a shared block is modified before it is flushed.
+    pub fn mdshd(&self) -> f64 {
+        self.mdshd
+    }
+
+    /// On a miss of a shared block, probability it is not dirty in
+    /// another cache.
+    pub fn oclean(&self) -> f64 {
+        self.oclean
+    }
+
+    /// On a reference to a shared block, probability it is present in
+    /// another cache.
+    pub fn opres(&self) -> f64 {
+        self.opres
+    }
+
+    /// On a write-broadcast, mean number of other caches holding the block.
+    pub fn nshd(&self) -> f64 {
+        self.nshd
+    }
+}
+
+impl Default for WorkloadParams {
+    /// The middle (Table 7) workload.
+    fn default() -> Self {
+        WorkloadParams::at_level(Level::Middle)
+    }
+}
+
+impl<'de> Deserialize<'de> for WorkloadParams {
+    fn deserialize<D>(deserializer: D) -> std::result::Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(Deserialize)]
+        struct Raw {
+            ls: f64,
+            msdat: f64,
+            mains: f64,
+            md: f64,
+            shd: f64,
+            wr: f64,
+            apl: f64,
+            mdshd: f64,
+            oclean: f64,
+            opres: f64,
+            nshd: f64,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        let mut b = WorkloadParams::builder();
+        b.ls(raw.ls)
+            .msdat(raw.msdat)
+            .mains(raw.mains)
+            .md(raw.md)
+            .shd(raw.shd)
+            .wr(raw.wr)
+            .apl(raw.apl)
+            .mdshd(raw.mdshd)
+            .oclean(raw.oclean)
+            .opres(raw.opres)
+            .nshd(raw.nshd);
+        b.build().map_err(serde::de::Error::custom)
+    }
+}
+
+/// The legal domain of a parameter value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Domain {
+    /// A probability: must lie in `[0, 1]` and be finite.
+    Probability,
+    /// A run length: must be finite and `>= 1`.
+    RunLength,
+    /// A count: must be finite and `>= 0`.
+    Count,
+}
+
+fn validate(name: &'static str, value: f64, domain: Domain) -> Result<()> {
+    let ok = match domain {
+        Domain::Probability => value.is_finite() && (0.0..=1.0).contains(&value),
+        Domain::RunLength => value.is_finite() && value >= 1.0,
+        Domain::Count => value.is_finite() && value >= 0.0,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value,
+            reason: match domain {
+                Domain::Probability => "must be a probability in [0, 1]",
+                Domain::RunLength => "must be finite and >= 1",
+                Domain::Count => "must be finite and >= 0",
+            },
+        })
+    }
+}
+
+/// Builder for [`WorkloadParams`] (non-consuming, per C-BUILDER).
+///
+/// Setters record the value unconditionally; [`WorkloadParamsBuilder::build`]
+/// validates everything at once so a sweep can report the first offending
+/// parameter.
+#[derive(Debug, Clone)]
+pub struct WorkloadParamsBuilder {
+    params: WorkloadParams,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(&mut self, value: f64) -> &mut Self {
+                self.params.$field = value;
+                self
+            }
+        )+
+    };
+}
+
+impl WorkloadParamsBuilder {
+    builder_setters! {
+        /// Sets the load/store probability.
+        ls,
+        /// Sets the data miss rate.
+        msdat,
+        /// Sets the instruction miss rate.
+        mains,
+        /// Sets the dirty-replacement probability.
+        md,
+        /// Sets the shared-reference probability.
+        shd,
+        /// Sets the store probability.
+        wr,
+        /// Sets the references-per-flush run length.
+        apl,
+        /// Sets the modified-before-flush probability.
+        mdshd,
+        /// Sets the clean-in-other-cache probability.
+        oclean,
+        /// Sets the present-in-other-cache probability.
+        opres,
+        /// Sets the mean sharer count on write-broadcast.
+        nshd,
+    }
+
+    /// Validates and produces the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] naming the first parameter
+    /// whose value is outside its domain.
+    pub fn build(&self) -> Result<WorkloadParams> {
+        let p = &self.params;
+        for id in ParamId::ALL {
+            validate(id.name(), p.param(id), id.domain())?;
+        }
+        Ok(*p)
+    }
+}
+
+impl ParamId {
+    pub(crate) fn domain(self) -> Domain {
+        match self {
+            ParamId::Apl => Domain::RunLength,
+            ParamId::Nshd => Domain::Count,
+            _ => Domain::Probability,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn middle_preset_matches_table7() {
+        let w = WorkloadParams::at_level(Level::Middle);
+        assert_eq!(w.ls(), 0.3);
+        assert_eq!(w.msdat(), 0.014);
+        assert_eq!(w.mains(), 0.0022);
+        assert_eq!(w.md(), 0.20);
+        assert_eq!(w.shd(), 0.25);
+        assert_eq!(w.wr(), 0.25);
+        assert_eq!(w.mdshd(), 0.25);
+        assert!((w.apl() - 1.0 / 0.13).abs() < 1e-12);
+        assert_eq!(w.oclean(), 0.84);
+        assert_eq!(w.opres(), 0.79);
+        assert_eq!(w.nshd(), 1.0);
+    }
+
+    #[test]
+    fn low_and_high_presets_match_table7() {
+        let lo = WorkloadParams::at_level(Level::Low);
+        let hi = WorkloadParams::at_level(Level::High);
+        assert_eq!(lo.ls(), 0.2);
+        assert_eq!(hi.ls(), 0.4);
+        assert_eq!(lo.shd(), 0.08);
+        assert_eq!(hi.shd(), 0.42);
+        assert_eq!(lo.md(), 0.14);
+        assert_eq!(hi.md(), 0.50);
+        // 1/apl: low 0.04 => apl 25; high 1.0 => apl 1.
+        assert!((lo.apl() - 25.0).abs() < 1e-12);
+        assert!((hi.apl() - 1.0).abs() < 1e-12);
+        assert_eq!(lo.nshd(), 1.0);
+        assert_eq!(hi.nshd(), 7.0);
+    }
+
+    #[test]
+    fn builder_validates_probabilities() {
+        let mut b = WorkloadParams::builder();
+        b.shd(1.5);
+        let err = b.build().unwrap_err();
+        match err {
+            ModelError::InvalidParameter { name, value, .. } => {
+                assert_eq!(name, "shd");
+                assert_eq!(value, 1.5);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_nan() {
+        let mut b = WorkloadParams::builder();
+        b.ls(f64::NAN);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_apl_below_one() {
+        let mut b = WorkloadParams::builder();
+        b.apl(0.5);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn apl_of_exactly_one_is_legal() {
+        let mut b = WorkloadParams::builder();
+        b.apl(1.0);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn with_param_round_trips_every_parameter() {
+        let w = WorkloadParams::default();
+        for id in ParamId::ALL {
+            let tweaked = w.with_param(id, w.param(id)).unwrap();
+            assert_eq!(tweaked, w);
+        }
+    }
+
+    #[test]
+    fn with_param_rejects_out_of_domain() {
+        let w = WorkloadParams::default();
+        assert!(w.with_param(ParamId::Wr, -0.1).is_err());
+        assert!(w.with_param(ParamId::Apl, 0.0).is_err());
+        assert!(w.with_param(ParamId::Nshd, -1.0).is_err());
+    }
+
+    #[test]
+    fn nshd_above_one_is_legal() {
+        // nshd is a count, not a probability: the high Table 7 value is 7.
+        let w = WorkloadParams::default().with_param(ParamId::Nshd, 7.0).unwrap();
+        assert_eq!(w.nshd(), 7.0);
+    }
+
+    #[test]
+    fn default_is_middle() {
+        assert_eq!(WorkloadParams::default(), WorkloadParams::at_level(Level::Middle));
+    }
+}

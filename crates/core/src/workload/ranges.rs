@@ -1,0 +1,271 @@
+//! Table 7: low / middle / high parameter ranges.
+//!
+//! The ranges were derived by the paper's authors from the minimum,
+//! average, and maximum values observed in their large-cache ATUM-2
+//! traces, with three adjustments described in §4:
+//!
+//! * `apl` was estimated optimistically from single-processor runs, so
+//!   its high value of `1/apl` was set to the maximum possible, 1.
+//! * `md` from the traces was artificially low (the traces were too short
+//!   to fill large caches); 0.5 was used as the high value instead.
+//! * `ls` reflects RISC architectures rather than the traced CISC machine.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in a parameter's Table 7 range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// The value most favourable to software coherence.
+    Low,
+    /// The trace average.
+    Middle,
+    /// The value least favourable to software coherence.
+    High,
+}
+
+impl Level {
+    /// All three levels, in increasing order of coherence stress.
+    pub const ALL: [Level; 3] = [Level::Low, Level::Middle, Level::High];
+
+    /// The one-letter code used in the paper's Figure 11 labels
+    /// (`l`, `m`, `h`).
+    pub fn code(self) -> char {
+        match self {
+            Level::Low => 'l',
+            Level::Middle => 'm',
+            Level::High => 'h',
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Low => "low",
+            Level::Middle => "middle",
+            Level::High => "high",
+        })
+    }
+}
+
+/// Identifies one of the eleven Table 2 workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ParamId {
+    /// Probability an instruction is a load or store.
+    Ls,
+    /// Data miss rate.
+    Msdat,
+    /// Instruction miss rate.
+    Mains,
+    /// Probability a miss replaces a dirty block.
+    Md,
+    /// Probability a load/store refers to shared data.
+    Shd,
+    /// Probability a data reference is a store.
+    Wr,
+    /// References to a shared block before it is flushed.
+    Apl,
+    /// Probability a shared block is modified before it is flushed.
+    Mdshd,
+    /// On a shared-block miss, probability it is not dirty elsewhere.
+    Oclean,
+    /// On a shared-block reference, probability it is present elsewhere.
+    Opres,
+    /// On a write-broadcast, number of other caches holding the block.
+    Nshd,
+}
+
+impl ParamId {
+    /// All parameters, in Table 2 order.
+    pub const ALL: [ParamId; 11] = [
+        ParamId::Ls,
+        ParamId::Msdat,
+        ParamId::Mains,
+        ParamId::Md,
+        ParamId::Shd,
+        ParamId::Wr,
+        ParamId::Apl,
+        ParamId::Mdshd,
+        ParamId::Oclean,
+        ParamId::Opres,
+        ParamId::Nshd,
+    ];
+
+    /// The parameter's name as written in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamId::Ls => "ls",
+            ParamId::Msdat => "msdat",
+            ParamId::Mains => "mains",
+            ParamId::Md => "md",
+            ParamId::Shd => "shd",
+            ParamId::Wr => "wr",
+            ParamId::Apl => "apl",
+            ParamId::Mdshd => "mdshd",
+            ParamId::Oclean => "oclean",
+            ParamId::Opres => "opres",
+            ParamId::Nshd => "nshd",
+        }
+    }
+
+    /// One-line description (Table 2).
+    pub fn description(self) -> &'static str {
+        match self {
+            ParamId::Ls => "probability an instruction is a load or store",
+            ParamId::Msdat => "miss rate for data",
+            ParamId::Mains => "miss rate for instructions",
+            ParamId::Md => "probability a miss replaces a dirty block",
+            ParamId::Shd => "probability a load or store refers to shared data",
+            ParamId::Wr => "probability a miss is caused by store rather than load",
+            ParamId::Apl => "number of references to a shared block before it is flushed",
+            ParamId::Mdshd => "probability a shared block is modified before it is flushed",
+            ParamId::Oclean => {
+                "on miss of a shared block in one cache, probability it is not dirty in another"
+            }
+            ParamId::Opres => {
+                "on reference to a shared block in one cache, probability it is present in another"
+            }
+            ParamId::Nshd => "on write-broadcast, number of caches containing a shared block",
+        }
+    }
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The Table 7 low/middle/high values of one parameter.
+///
+/// For `apl` the paper tabulates `1/apl`; this type stores the `apl`
+/// values themselves (so "low stress" is the *long* run length 25).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamRange {
+    /// The parameter these values belong to.
+    pub id: ParamId,
+    /// Value at [`Level::Low`].
+    pub low: f64,
+    /// Value at [`Level::Middle`].
+    pub middle: f64,
+    /// Value at [`Level::High`].
+    pub high: f64,
+}
+
+impl ParamRange {
+    /// The value at the given level.
+    pub fn at(&self, level: Level) -> f64 {
+        match level {
+            Level::Low => self.low,
+            Level::Middle => self.middle,
+            Level::High => self.high,
+        }
+    }
+}
+
+/// The full Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Table7([ParamRange; 11]);
+
+/// The paper's Table 7 parameter ranges.
+///
+/// Note the `apl` entry is stored as `apl` (25 / ≈7.69 / 1), i.e. the
+/// reciprocal of the tabulated `1/apl` column (0.04 / 0.13 / 1.0).
+pub const TABLE7_RANGES: Table7 = Table7([
+    ParamRange { id: ParamId::Ls, low: 0.2, middle: 0.3, high: 0.4 },
+    ParamRange { id: ParamId::Msdat, low: 0.004, middle: 0.014, high: 0.024 },
+    ParamRange { id: ParamId::Mains, low: 0.0014, middle: 0.0022, high: 0.0034 },
+    ParamRange { id: ParamId::Md, low: 0.14, middle: 0.20, high: 0.50 },
+    ParamRange { id: ParamId::Shd, low: 0.08, middle: 0.25, high: 0.42 },
+    ParamRange { id: ParamId::Wr, low: 0.10, middle: 0.25, high: 0.40 },
+    ParamRange { id: ParamId::Apl, low: 25.0, middle: 1.0 / 0.13, high: 1.0 },
+    ParamRange { id: ParamId::Mdshd, low: 0.0, middle: 0.25, high: 0.5 },
+    ParamRange { id: ParamId::Oclean, low: 0.60, middle: 0.84, high: 0.976 },
+    ParamRange { id: ParamId::Opres, low: 0.63, middle: 0.79, high: 0.94 },
+    ParamRange { id: ParamId::Nshd, low: 1.0, middle: 1.0, high: 7.0 },
+]);
+
+impl Table7 {
+    /// The range row for one parameter.
+    pub fn range(&self, id: ParamId) -> ParamRange {
+        self.0[ParamId::ALL.iter().position(|&p| p == id).expect("ParamId::ALL is exhaustive")]
+    }
+
+    /// The value of one parameter at one level.
+    pub fn value(&self, id: ParamId, level: Level) -> f64 {
+        self.range(id).at(level)
+    }
+
+    /// Iterates over the rows in Table 2 order.
+    pub fn iter(&self) -> impl Iterator<Item = &ParamRange> {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_every_parameter_in_order() {
+        for (row, id) in TABLE7_RANGES.iter().zip(ParamId::ALL) {
+            assert_eq!(row.id, id);
+        }
+    }
+
+    #[test]
+    fn apl_is_reciprocal_of_tabulated_inverse() {
+        let r = TABLE7_RANGES.range(ParamId::Apl);
+        assert!((1.0 / r.low - 0.04).abs() < 1e-12);
+        assert!((1.0 / r.middle - 0.13).abs() < 1e-12);
+        assert!((1.0 / r.high - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranges_are_monotone_in_stress_except_apl() {
+        for row in TABLE7_RANGES.iter() {
+            if row.id == ParamId::Apl {
+                // Longer runs are *less* stressful, so apl decreases.
+                assert!(row.low > row.middle && row.middle > row.high);
+            } else {
+                assert!(
+                    row.low <= row.middle && row.middle <= row.high,
+                    "{} not monotone",
+                    row.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_codes_match_figure11_labels() {
+        assert_eq!(Level::Low.code(), 'l');
+        assert_eq!(Level::Middle.code(), 'm');
+        assert_eq!(Level::High.code(), 'h');
+    }
+
+    #[test]
+    fn param_names_are_unique() {
+        let mut names: Vec<_> = ParamId::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for id in ParamId::ALL {
+            assert!(!id.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn range_at_level_roundtrip() {
+        let r = TABLE7_RANGES.range(ParamId::Shd);
+        assert_eq!(r.at(Level::Low), 0.08);
+        assert_eq!(r.at(Level::Middle), 0.25);
+        assert_eq!(r.at(Level::High), 0.42);
+    }
+}

@@ -1,0 +1,292 @@
+//! Experiment artifacts: tables and figures, with plain-text rendering.
+//!
+//! Every experiment produces either a [`Table`] (rows of labeled cells)
+//! or a [`Figure`] (named series of `(x, y)` points). Figures render as
+//! both a data listing and an ASCII plot, so `cargo run --bin repro`
+//! regenerates something visually comparable to the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::plot::ascii_plot;
+
+/// A tabular artifact (one of the paper's tables).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Title, e.g. `"Table 8: sensitivity"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table {:?}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One named curve in a figure.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in plotting order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The y value at the largest x (often "power at max processors").
+    pub fn final_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+}
+
+/// A figure artifact (one of the paper's figures).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Figure {
+    /// Title, e.g. `"Figure 5: medium shd and ls"`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a curve.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Finds a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the figure: ASCII plot followed by the data columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&ascii_plot(&self.series, &self.x_label, &self.y_label));
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("series: {}\n", s.name));
+            out.push_str(&format!("  {:>12}  {:>12}\n", self.x_label, self.y_label));
+            for &(x, y) in &s.points {
+                out.push_str(&format!("  {x:>12.4}  {y:>12.4}\n"));
+            }
+        }
+        for note in &self.notes {
+            out.push_str("note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The output of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Artifact {
+    /// A table.
+    Table(Table),
+    /// A figure.
+    Figure(Figure),
+}
+
+impl Artifact {
+    /// Renders either kind as plain text.
+    pub fn render(&self) -> String {
+        match self {
+            Artifact::Table(t) => t.render(),
+            Artifact::Figure(f) => f.render(),
+        }
+    }
+
+    /// The artifact's title.
+    pub fn title(&self) -> &str {
+        match self {
+            Artifact::Table(t) => &t.title,
+            Artifact::Figure(f) => &f.title,
+        }
+    }
+
+    /// Borrows the table, if this is one.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Artifact::Table(t) => Some(t),
+            Artifact::Figure(_) => None,
+        }
+    }
+
+    /// Borrows the figure, if this is one.
+    pub fn as_figure(&self) -> Option<&Figure> {
+        match self {
+            Artifact::Figure(f) => Some(f),
+            Artifact::Table(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Artifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("T", vec!["a".into(), "bbbb".into()]);
+        t.push_row(vec!["xxx".into(), "y".into()]);
+        let r = t.render();
+        assert!(r.contains("a    bbbb"));
+        assert!(r.contains("xxx  y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn figure_lists_series_data() {
+        let mut f = Figure::new("F", "x", "y");
+        f.push_series(Series::new("s1", vec![(1.0, 2.0), (2.0, 3.0)]));
+        let r = f.render();
+        assert!(r.contains("series: s1"));
+        assert!(r.contains("2.0000"));
+        assert_eq!(f.series_named("s1").unwrap().final_y(), Some(3.0));
+        assert!(f.series_named("nope").is_none());
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_json() {
+        let mut table = Table::new("T", vec!["a".into()]);
+        table.push_row(vec!["1".into()]);
+        let mut fig = Figure::new("F", "x", "y");
+        fig.push_series(Series::new("s", vec![(1.0, 2.0)]));
+        for artifact in [Artifact::Table(table), Artifact::Figure(fig)] {
+            let json = serde_json::to_string(&artifact).unwrap();
+            let back: Artifact = serde_json::from_str(&json).unwrap();
+            assert_eq!(artifact, back);
+        }
+    }
+
+    #[test]
+    fn artifact_accessors() {
+        let t = Artifact::Table(Table::new("T", vec![]));
+        assert!(t.as_table().is_some());
+        assert!(t.as_figure().is_none());
+        assert_eq!(t.title(), "T");
+        let f = Artifact::Figure(Figure::new("F", "x", "y"));
+        assert!(f.as_figure().is_some());
+        assert_eq!(f.title(), "F");
+    }
+}

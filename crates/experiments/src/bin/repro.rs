@@ -1,0 +1,101 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                        list experiment ids and titles
+//! repro all [--quick] [--json]      run every experiment
+//! repro <id>... [--quick] [--json]  run selected experiments
+//! ```
+//!
+//! `--quick` shortens the synthetic traces used by the
+//! simulation-backed experiments. `--json` emits the artifacts as one
+//! JSON array (for plotting scripts and regression tooling) instead of
+//! rendered text.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use swcc_experiments::registry::{find, RunOptions, EXPERIMENTS};
+
+/// Prints to stdout, exiting quietly if the reader closed the pipe
+/// (e.g. `repro all | head`).
+fn emit(text: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout();
+    if writeln!(out, "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+macro_rules! say {
+    ($($arg:tt)*) => { emit(format_args!($($arg)*)) };
+}
+
+fn usage() {
+    eprintln!("usage: repro list | all [--quick] [--json] | <id>... [--quick] [--json]");
+    eprintln!("ids:");
+    for e in EXPERIMENTS {
+        eprintln!("  {:<8} {}", e.id, e.title);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut take_flag = |name: &str| -> bool {
+        if let Some(pos) = args.iter().position(|a| a == name) {
+            args.remove(pos);
+            true
+        } else {
+            false
+        }
+    };
+    let quick = take_flag("--quick");
+    let json = take_flag("--json");
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let opts = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::default()
+    };
+    if args[0] == "list" {
+        for e in EXPERIMENTS {
+            say!("{:<8} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&'static swcc_experiments::Experiment> = if args[0] == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        let mut v = Vec::new();
+        for id in &args {
+            match find(id) {
+                Some(e) => v.push(e),
+                None => {
+                    eprintln!("unknown experiment id: {id}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        v
+    };
+    if json {
+        let artifacts: Vec<(&str, swcc_experiments::Artifact)> =
+            selected.iter().map(|e| (e.id, (e.run)(&opts))).collect();
+        match serde_json::to_string_pretty(&artifacts) {
+            Ok(s) => say!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize artifacts: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    for e in selected {
+        say!("=== {} — {} ===", e.id, e.title);
+        let artifact = (e.run)(&opts);
+        say!("{}", artifact.render());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,111 @@
+//! A small ASCII scatter/line plotter for figure artifacts.
+//!
+//! Renders all series of a figure onto one character grid, each series
+//! with its own glyph, with min/max axis annotations. Good enough to
+//! eyeball the *shape* of a reproduced figure in a terminal or a text
+//! log, which is the point of the reproduction.
+
+use crate::artifact::Series;
+
+const WIDTH: usize = 64;
+const HEIGHT: usize = 20;
+const GLYPHS: &[u8] = b"*o+x#@%&$~";
+
+/// Plots the series onto an ASCII grid.
+///
+/// Returns an empty string if no series has any points (nothing to
+/// scale the axes by).
+pub fn ascii_plot(series: &[Series], x_label: &str, y_label: &str) -> String {
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if points.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Avoid a degenerate scale when all points share a coordinate.
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![b' '; WIDTH]; HEIGHT];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (WIDTH - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (HEIGHT - 1) as f64).round() as usize;
+            let row = HEIGHT - 1 - cy;
+            grid[row][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} ({y_max:.3} top, {y_min:.3} bottom)\n"));
+    for row in &grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(row).expect("grid is ASCII"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(WIDTH));
+    out.push('\n');
+    out.push_str(&format!(
+        " {x_label}: {x_min:.3} .. {x_max:.3}   legend: {}\n",
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{}={}", GLYPHS[i % GLYPHS.len()] as char, s.name))
+            .collect::<Vec<_>>()
+            .join("  ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_render_empty() {
+        assert_eq!(ascii_plot(&[], "x", "y"), "");
+        assert_eq!(ascii_plot(&[Series::new("s", vec![])], "x", "y"), "");
+    }
+
+    #[test]
+    fn plot_contains_glyphs_and_legend() {
+        let s = vec![
+            Series::new("up", vec![(0.0, 0.0), (1.0, 1.0)]),
+            Series::new("down", vec![(0.0, 1.0), (1.0, 0.0)]),
+        ];
+        let p = ascii_plot(&s, "n", "power");
+        assert!(p.contains('*'));
+        assert!(p.contains('o'));
+        assert!(p.contains("*=up"));
+        assert!(p.contains("o=down"));
+        assert!(p.contains("n: 0.000 .. 1.000"));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let s = vec![Series::new("pt", vec![(2.0, 5.0)])];
+        let p = ascii_plot(&s, "x", "y");
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn corners_are_plotted_in_bounds() {
+        let s = vec![Series::new(
+            "c",
+            vec![(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)],
+        )];
+        // Must not panic on boundary indexing.
+        let p = ascii_plot(&s, "x", "y");
+        assert!(p.matches('*').count() >= 4);
+    }
+}

@@ -1,0 +1,190 @@
+//! The experiment registry: every paper table and figure by id.
+//!
+//! `cargo run -p swcc-experiments --bin repro -- <id>` looks experiments
+//! up here; `swcc-bench` iterates the same registry so that every
+//! artifact has a benchmark.
+
+use std::fmt;
+
+use crate::artifact::Artifact;
+use crate::validation::ValidationOptions;
+use crate::{extensions, figures, tables, validation};
+
+/// How much work simulation-backed experiments should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Options for trace generation in the validation experiments.
+    pub validation: ValidationOptions,
+    /// Processor count for the sensitivity table (Table 8).
+    pub sensitivity_processors: u32,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            validation: ValidationOptions::default(),
+            sensitivity_processors: 16,
+        }
+    }
+}
+
+impl RunOptions {
+    /// A reduced-work profile for smoke tests and benchmarks.
+    pub fn quick() -> Self {
+        RunOptions {
+            validation: ValidationOptions {
+                instructions_per_cpu: 15_000,
+                seed: ValidationOptions::default().seed,
+            },
+            sensitivity_processors: 16,
+        }
+    }
+}
+
+/// One reproducible experiment.
+pub struct Experiment {
+    /// Stable id (`"table8"`, `"fig11"`, ...).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Runs the experiment.
+    pub run: fn(&RunOptions) -> Artifact,
+}
+
+impl fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .finish_non_exhaustive()
+    }
+}
+
+macro_rules! experiments {
+    ($($id:literal, $title:literal => $body:expr;)+) => {
+        &[$(Experiment { id: $id, title: $title, run: $body }),+]
+    };
+}
+
+/// All experiments, in paper order.
+pub static EXPERIMENTS: &[Experiment] = experiments! {
+    "table1", "System model: bus operation costs" =>
+        |_| Artifact::Table(tables::table1());
+    "table2", "Workload model parameters" =>
+        |_| Artifact::Table(tables::table2());
+    "table3", "Operation frequencies: Base" =>
+        |_| Artifact::Table(tables::table3());
+    "table4", "Operation frequencies: No-Cache" =>
+        |_| Artifact::Table(tables::table4());
+    "table5", "Operation frequencies: Software-Flush" =>
+        |_| Artifact::Table(tables::table5());
+    "table6", "Operation frequencies: Dragon" =>
+        |_| Artifact::Table(tables::table6());
+    "table7", "Parameter ranges" =>
+        |_| Artifact::Table(tables::table7());
+    "table8", "Sensitivity analysis" =>
+        |o| Artifact::Table(tables::table8(o.sensitivity_processors));
+    "table9", "System model: network operation costs" =>
+        |_| Artifact::Table(tables::table9(8));
+    "fig1", "Model vs simulation: Base and Dragon, 64KB caches" =>
+        |o| Artifact::Figure(validation::fig1(&o.validation));
+    "fig2", "Cache-size impact on Dragon, <=4 processors" =>
+        |o| Artifact::Figure(validation::fig2(&o.validation));
+    "fig3", "Cache-size impact on Dragon, <=8 processors" =>
+        |o| Artifact::Figure(validation::fig3(&o.validation));
+    "fig4", "Schemes on a bus: low shd and ls" =>
+        |_| Artifact::Figure(figures::fig4());
+    "fig5", "Schemes on a bus: medium shd and ls" =>
+        |_| Artifact::Figure(figures::fig5());
+    "fig6", "Schemes on a bus: high shd and ls" =>
+        |_| Artifact::Figure(figures::fig6());
+    "fig7", "Effect of varying apl" =>
+        |_| Artifact::Figure(figures::fig7());
+    "fig8", "Effect of apl with low sharing" =>
+        |_| Artifact::Figure(figures::fig8());
+    "fig9", "Effect of apl with medium sharing" =>
+        |_| Artifact::Figure(figures::fig9());
+    "fig10", "Buses versus networks in the small scale" =>
+        |_| Artifact::Figure(figures::fig10());
+    "fig11", "Network utilization vs request rate, 256 processors" =>
+        |_| Artifact::Figure(figures::fig11());
+    "ext_packet", "Extension: packet vs circuit switching" =>
+        |_| Artifact::Figure(extensions::packet_vs_circuit());
+    "ext_directory", "Extension: directory hardware vs software schemes" =>
+        |_| Artifact::Table(extensions::directory_vs_software());
+    "ext_netsim", "Extension: Patel model vs network simulation" =>
+        |o| Artifact::Figure(extensions::patel_vs_simulation(
+            o.validation.instructions_per_cpu as u64 / 4,
+            o.validation.seed,
+        ));
+    "ext_service", "Extension: bus service-time discipline vs model contention" =>
+        |o| Artifact::Table(extensions::service_discipline(
+            o.validation.instructions_per_cpu,
+            o.validation.seed,
+        ));
+    "ext_invalidate", "Extension: write-update vs write-invalidate snoopy hardware" =>
+        |_| Artifact::Figure(extensions::update_vs_invalidate());
+    "ext_tracenet", "Extension: trace-driven network simulation vs model" =>
+        |o| Artifact::Table(extensions::trace_driven_network(
+            o.validation.instructions_per_cpu,
+            o.validation.seed,
+        ));
+};
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<_> = EXPERIMENTS.iter().map(|e| e.id).collect();
+        for n in 1..=9 {
+            assert!(ids.contains(&format!("table{n}").as_str()), "table{n}");
+        }
+        for n in 1..=11 {
+            assert!(ids.contains(&format!("fig{n}").as_str()), "fig{n}");
+        }
+        for ext in [
+            "ext_packet",
+            "ext_directory",
+            "ext_netsim",
+            "ext_service",
+            "ext_invalidate",
+            "ext_tracenet",
+        ] {
+            assert!(ids.contains(&ext), "{ext}");
+        }
+        assert_eq!(ids.len(), 26);
+    }
+
+    #[test]
+    fn find_locates_experiments() {
+        assert!(find("fig11").is_some());
+        assert!(find("table8").is_some());
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<_> = EXPERIMENTS.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn model_only_experiments_run_quickly() {
+        let opts = RunOptions::quick();
+        for e in EXPERIMENTS {
+            if e.id.starts_with("table") || matches!(e.id, "fig4" | "fig5" | "fig6") {
+                let artifact = (e.run)(&opts);
+                assert!(!artifact.render().is_empty(), "{}", e.id);
+            }
+        }
+    }
+}

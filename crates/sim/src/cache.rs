@@ -1,0 +1,298 @@
+//! A set-associative cache with true-LRU replacement.
+//!
+//! Matches the paper's simulated hardware: combined instruction/data
+//! caches with 16-byte blocks (configurable), per-line coherence state.
+//! The cache stores only tags and states — the simulator never models
+//! data values, only timing and coherence traffic.
+
+use serde::{Deserialize, Serialize};
+
+use swcc_trace::BlockAddr;
+
+/// Coherence state of a resident line.
+///
+/// * Base / No-Cache / Software-Flush use only [`LineState::Clean`] and
+///   [`LineState::Dirty`].
+/// * Dragon uses all four: `Clean` = exclusive-clean, `Dirty` =
+///   exclusive-modified, `SharedClean` = valid in several caches and
+///   consistent with memory (or owned elsewhere), `SharedDirty` = valid
+///   in several caches and owned (this cache must supply and eventually
+///   write back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineState {
+    /// Exclusive, consistent with memory.
+    Clean,
+    /// Exclusive, modified (write-back owed).
+    Dirty,
+    /// Shared, not owner.
+    SharedClean,
+    /// Shared, owner (write-back owed).
+    SharedDirty,
+}
+
+impl LineState {
+    /// Whether replacing or flushing this line requires a write-back.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Dirty | LineState::SharedDirty)
+    }
+
+    /// Whether the line believes other caches hold the block.
+    pub fn is_shared(self) -> bool {
+        matches!(self, LineState::SharedClean | LineState::SharedDirty)
+    }
+}
+
+/// One resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Line {
+    block: BlockAddr,
+    state: LineState,
+}
+
+/// What `insert` evicted, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The displaced block and its state (dirty ⇒ write-back required).
+    pub victim: Option<(BlockAddr, LineState)>,
+}
+
+/// A set-associative cache indexed by block address.
+///
+/// Each set is kept in LRU order (most recent first). Capacity is
+/// `sets × ways` blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with the given associativity
+    /// and block size (`block_bits` of offset; 4 ⇒ 16-byte blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate: zero ways, capacity not a
+    /// multiple of `ways × block_size`, or a non-power-of-two set count.
+    pub fn new(capacity_bytes: u64, ways: usize, block_bits: u32) -> Self {
+        assert!(ways > 0, "need at least one way");
+        let block_bytes = 1u64 << block_bits;
+        let blocks = capacity_bytes / block_bytes;
+        assert!(
+            blocks > 0 && capacity_bytes.is_multiple_of(block_bytes),
+            "capacity must be a positive multiple of the block size"
+        );
+        assert!(
+            blocks.is_multiple_of(ways as u64),
+            "capacity must divide evenly into {ways} ways"
+        );
+        let num_sets = blocks / ways as u64;
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two, got {num_sets}"
+        );
+        Cache {
+            sets: vec![Vec::with_capacity(ways); num_sets as usize],
+            ways,
+            set_mask: num_sets - 1,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.0 & self.set_mask) as usize
+    }
+
+    /// Looks up a block *without* touching LRU order.
+    pub fn peek(&self, block: BlockAddr) -> Option<LineState> {
+        self.sets[self.set_index(block)]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| l.state)
+    }
+
+    /// Looks up a block and promotes it to most-recently-used.
+    /// Returns its state if resident.
+    pub fn touch(&mut self, block: BlockAddr) -> Option<LineState> {
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        let pos = set.iter().position(|l| l.block == block)?;
+        let line = set.remove(pos);
+        set.insert(0, line);
+        Some(line.state)
+    }
+
+    /// Sets the state of a resident block (no LRU change).
+    ///
+    /// Returns `true` if the block was resident.
+    pub fn set_state(&mut self, block: BlockAddr, state: LineState) -> bool {
+        let si = self.set_index(block);
+        if let Some(line) = self.sets[si].iter_mut().find(|l| l.block == block) {
+            line.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a block as most-recently-used with the given state,
+    /// evicting the LRU line if the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already resident (protocol logic must
+    /// `touch`/`set_state` instead of re-inserting).
+    pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Eviction {
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        assert!(
+            set.iter().all(|l| l.block != block),
+            "insert of resident block {block}"
+        );
+        let victim = if set.len() == self.ways {
+            let v = set.pop().expect("full set is nonempty");
+            Some((v.block, v.state))
+        } else {
+            None
+        };
+        set.insert(0, Line { block, state });
+        Eviction { victim }
+    }
+
+    /// Removes a block, returning its state if it was resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        let pos = set.iter().position(|l| l.block == block)?;
+        Some(set.remove(pos).state)
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(v: u64) -> BlockAddr {
+        BlockAddr(v)
+    }
+
+    #[test]
+    fn geometry_is_derived_from_capacity() {
+        // 64 KiB, 1-way, 16-byte blocks => 4096 sets.
+        let c = Cache::new(64 * 1024, 1, 4);
+        assert_eq!(c.num_sets(), 4096);
+        assert_eq!(c.ways(), 1);
+        // 16 KiB, 4-way => 256 sets.
+        let c = Cache::new(16 * 1024, 4, 4);
+        assert_eq!(c.num_sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = Cache::new(48, 1, 4); // 3 sets
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Cache::new(256, 2, 4); // 16 blocks, 8 sets
+        assert_eq!(c.touch(blk(5)), None);
+        c.insert(blk(5), LineState::Clean);
+        assert_eq!(c.touch(blk(5)), Some(LineState::Clean));
+        assert_eq!(c.peek(blk(5)), Some(LineState::Clean));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = Cache::new(2 * 16, 2, 4); // one set, two ways
+        c.insert(blk(0), LineState::Clean);
+        c.insert(blk(2), LineState::Dirty);
+        // Touch block 0 so block 2 becomes LRU.
+        assert!(c.touch(blk(0)).is_some());
+        let ev = c.insert(blk(4), LineState::Clean);
+        assert_eq!(ev.victim, Some((blk(2), LineState::Dirty)));
+        assert_eq!(c.peek(blk(0)), Some(LineState::Clean));
+        assert_eq!(c.peek(blk(2)), None);
+    }
+
+    #[test]
+    fn conflicting_blocks_map_to_same_set() {
+        // 8 sets: blocks 1 and 9 conflict in a direct-mapped cache.
+        let mut c = Cache::new(8 * 16, 1, 4);
+        c.insert(blk(1), LineState::Clean);
+        let ev = c.insert(blk(9), LineState::Clean);
+        assert_eq!(ev.victim, Some((blk(1), LineState::Clean)));
+    }
+
+    #[test]
+    fn non_conflicting_blocks_coexist() {
+        let mut c = Cache::new(8 * 16, 1, 4);
+        c.insert(blk(1), LineState::Clean);
+        let ev = c.insert(blk(2), LineState::Clean);
+        assert_eq!(ev.victim, None);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn set_state_updates_resident_lines_only() {
+        let mut c = Cache::new(256, 2, 4);
+        c.insert(blk(3), LineState::Clean);
+        assert!(c.set_state(blk(3), LineState::SharedDirty));
+        assert_eq!(c.peek(blk(3)), Some(LineState::SharedDirty));
+        assert!(!c.set_state(blk(4), LineState::Clean));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = Cache::new(256, 2, 4);
+        c.insert(blk(3), LineState::Dirty);
+        assert_eq!(c.invalidate(blk(3)), Some(LineState::Dirty));
+        assert_eq!(c.invalidate(blk(3)), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert of resident block")]
+    fn double_insert_is_a_bug() {
+        let mut c = Cache::new(256, 2, 4);
+        c.insert(blk(3), LineState::Clean);
+        c.insert(blk(3), LineState::Clean);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(LineState::Dirty.is_dirty());
+        assert!(LineState::SharedDirty.is_dirty());
+        assert!(!LineState::Clean.is_dirty());
+        assert!(!LineState::SharedClean.is_dirty());
+        assert!(LineState::SharedClean.is_shared());
+        assert!(!LineState::Dirty.is_shared());
+    }
+
+    #[test]
+    fn touch_promotes_to_mru() {
+        // One set, 4 ways.
+        let mut c = Cache::new(4 * 16, 4, 4);
+        for b in 0..4 {
+            c.insert(blk(b), LineState::Clean);
+        }
+        c.touch(blk(0)); // 0 is now MRU; LRU is 1.
+        let ev = c.insert(blk(10), LineState::Clean);
+        assert_eq!(ev.victim.unwrap().0, blk(1));
+    }
+}

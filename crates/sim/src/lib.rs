@@ -1,0 +1,54 @@
+//! # swcc-sim — trace-driven multiprocessor cache and bus simulator
+//!
+//! The validation substrate for the software-cache-coherence model,
+//! reproducing the simulator of the paper's §3: per-processor
+//! set-associative caches, a shared bus with FCFS arbitration and the
+//! fixed operation costs of Table 1, and four coherence protocols
+//! (Base, No-Cache, Software-Flush, Dragon).
+//!
+//! The simulator computes the same statistics the paper reports — cache
+//! miss rates, cycles lost to bus contention, processor utilization and
+//! processing power — and [`measure::measure_workload`] extracts the
+//! Table 2 workload parameters from a trace so the analytical model can
+//! be evaluated on exactly the workload that was simulated.
+//!
+//! ```
+//! use swcc_sim::{simulate, measure::measure_workload, ProtocolKind, SimConfig};
+//! use swcc_core::prelude::*;
+//! use swcc_trace::synth::pops_like;
+//!
+//! # fn main() -> Result<(), swcc_core::ModelError> {
+//! let trace = pops_like(4, 5_000, 42).generate();
+//! let config = SimConfig::new(ProtocolKind::Dragon);
+//!
+//! // Simulate...
+//! let report = simulate(&trace, &config);
+//! // ...and predict, from parameters measured on the same trace.
+//! let workload = measure_workload(&trace, &config);
+//! let model = analyze_bus(Scheme::Dragon, &workload, config.system(), 4)?;
+//!
+//! let error = (model.power() - report.power()).abs() / report.power();
+//! assert!(error < 0.25, "model within 25% of simulation");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+mod config;
+mod machine;
+pub mod measure;
+pub mod network;
+pub mod protocol;
+mod report;
+
+pub use config::{InterconnectKind, ServiceDiscipline, SharedPolicy, SimConfig, SimConfigBuilder};
+pub use machine::{simulate, CpuCounters, Multiprocessor};
+pub use network::{
+    simulate_network, simulate_network_packet, NetworkSimConfig, NetworkSimReport,
+};
+pub use protocol::ProtocolKind;
+pub use report::SimReport;

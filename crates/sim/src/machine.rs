@@ -1,0 +1,557 @@
+//! The trace-driven multiprocessor simulator.
+//!
+//! This reproduces the validation instrument of the paper's §3: a
+//! multiprocessor cache and bus simulator that replays an interleaved
+//! address trace and computes miss rates, cycles lost to bus contention,
+//! and processor utilization for a configurable coherence protocol,
+//! cache geometry, and processor count.
+//!
+//! ## Engine
+//!
+//! Each processor has a local clock and replays its own substream of the
+//! trace. The engine always advances the processor with the smallest
+//! local time (ties broken by processor id, so runs are deterministic).
+//! Bus operations request the bus at the processor's current time; the
+//! bus grants in FCFS order (`bus_free` high-water mark), and the
+//! difference between request and grant is accounted as contention.
+//! Unlike the analytical model — which assumes exponential service — the
+//! simulator uses the *fixed* service times of Table 1, which is exactly
+//! why the paper observes the model slightly overestimating contention.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use swcc_core::system::{CostModel, NetworkSystemModel, OpCost, Operation};
+use swcc_trace::{Access, AccessKind, Addr, BlockAddr, Trace};
+
+use crate::cache::{Cache, LineState};
+use crate::config::{InterconnectKind, ServiceDiscipline, SimConfig};
+use crate::protocol::{base, dragon, no_cache, software_flush, write_invalidate, ProtocolKind};
+use crate::report::SimReport;
+
+/// Per-processor event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct CpuCounters {
+    /// Instructions executed (fetch records).
+    pub instructions: u64,
+    /// Flush records processed (Software-Flush only).
+    pub flush_records: u64,
+    /// Data loads.
+    pub data_reads: u64,
+    /// Data stores.
+    pub data_writes: u64,
+    /// Instruction-fetch misses.
+    pub instr_misses: u64,
+    /// Data misses (cached references only).
+    pub data_misses: u64,
+    /// Misses that replaced a dirty block (write-back performed).
+    pub dirty_replacements: u64,
+    /// Misses supplied by another cache (Dragon).
+    pub cache_sourced_misses: u64,
+    /// Uncached shared loads (No-Cache).
+    pub read_throughs: u64,
+    /// Uncached shared stores (No-Cache).
+    pub write_throughs: u64,
+    /// Flushes of clean/absent lines.
+    pub clean_flushes: u64,
+    /// Flushes that wrote a dirty line back.
+    pub dirty_flushes: u64,
+    /// Write-broadcasts issued (Dragon).
+    pub broadcasts: u64,
+    /// Cycles stolen by the cache controller while snooping (Dragon).
+    pub cycle_steals: u64,
+    /// Cycles spent waiting for the bus.
+    pub contention_cycles: u64,
+    /// Final local time in cycles.
+    pub cycles: u64,
+}
+
+/// The interconnect fabric state.
+#[derive(Debug, Clone)]
+enum Fabric {
+    /// One FCFS bus: a single high-water mark.
+    Bus { free: u64 },
+    /// Circuit-switched multistage network: per-stage, per-link
+    /// busy-until marks, with Table 9 costs.
+    Network {
+        system: NetworkSystemModel,
+        links: Vec<Vec<u64>>,
+    },
+}
+
+/// The simulated machine: caches, interconnect, clocks, and counters.
+#[derive(Debug, Clone)]
+pub struct Multiprocessor {
+    pub(crate) config: SimConfig,
+    pub(crate) caches: Vec<Cache>,
+    pub(crate) time: Vec<u64>,
+    pub(crate) bus_busy: u64,
+    pub(crate) counters: Vec<CpuCounters>,
+    fabric: Fabric,
+    /// Memory module targeted by the current access (network routing).
+    pending_dst: u32,
+    /// Processor issuing the current access (network routing source).
+    pending_cpu: u32,
+    /// RNG for stochastic service disciplines.
+    rng: StdRng,
+}
+
+impl Multiprocessor {
+    /// Creates a machine with `cpus` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn new(config: SimConfig, cpus: u16) -> Self {
+        assert!(cpus > 0, "need at least one processor");
+        let caches = (0..cpus)
+            .map(|_| Cache::new(config.cache_bytes(), config.ways(), config.block_bits()))
+            .collect();
+        let rng = StdRng::seed_from_u64(config.seed());
+        let fabric = match config.interconnect() {
+            InterconnectKind::Bus => Fabric::Bus { free: 0 },
+            InterconnectKind::Network { stages } => {
+                assert!(
+                    u32::from(cpus) == 1u32 << stages,
+                    "a {stages}-stage network connects exactly {} processors, got {cpus}",
+                    1u32 << stages
+                );
+                Fabric::Network {
+                    system: NetworkSystemModel::new(stages),
+                    links: vec![vec![0; usize::from(cpus)]; stages as usize],
+                }
+            }
+        };
+        Multiprocessor {
+            config,
+            caches,
+            time: vec![0; usize::from(cpus)],
+            bus_busy: 0,
+            counters: vec![CpuCounters::default(); usize::from(cpus)],
+            fabric,
+            pending_dst: 0,
+            pending_cpu: 0,
+            rng,
+        }
+    }
+
+    /// The configuration this machine runs.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replays a whole trace and returns the report.
+    ///
+    /// The trace's processor count must not exceed the machine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references a processor this machine lacks.
+    pub fn run(&mut self, trace: &Trace) -> SimReport {
+        assert!(
+            usize::from(trace.cpus()) <= self.time.len(),
+            "trace uses {} cpus, machine has {}",
+            trace.cpus(),
+            self.time.len()
+        );
+        // Split the trace into per-cpu substreams.
+        let mut streams: Vec<Vec<Access>> = vec![Vec::new(); self.time.len()];
+        for a in trace {
+            streams[a.cpu.index()].push(*a);
+        }
+        let mut cursors = vec![0usize; streams.len()];
+        loop {
+            // Advance the processor with the smallest local clock that
+            // still has records (ties: lowest id). Linear scan is fine
+            // for the paper's processor counts (≤ 16).
+            let mut next: Option<usize> = None;
+            for cpu in 0..streams.len() {
+                if cursors[cpu] < streams[cpu].len()
+                    && next.is_none_or(|best| self.time[cpu] < self.time[best])
+                {
+                    next = Some(cpu);
+                }
+            }
+            let Some(cpu) = next else { break };
+            let access = streams[cpu][cursors[cpu]];
+            cursors[cpu] += 1;
+            self.step(cpu, access);
+        }
+        self.report()
+    }
+
+    /// Produces the report for the work simulated so far.
+    pub fn report(&self) -> SimReport {
+        SimReport::new(
+            self.config.protocol(),
+            self.counters.clone(),
+            self.bus_busy,
+            self.time.iter().copied().max().unwrap_or(0),
+        )
+    }
+
+    /// Processes one record on one processor.
+    pub(crate) fn step(&mut self, cpu: usize, access: Access) {
+        let block = access.addr.block(self.config.block_bits());
+        // Memory is block-interleaved across the modules: the network
+        // fabric routes this access's transactions to module
+        // block mod 2^stages.
+        self.pending_dst = (block.0 % self.caches.len() as u64) as u32;
+        self.pending_cpu = cpu as u32;
+        match access.kind {
+            AccessKind::Fetch => self.fetch(cpu, block),
+            AccessKind::Load | AccessKind::Store => {
+                let write = access.kind.is_write();
+                if write {
+                    self.counters[cpu].data_writes += 1;
+                } else {
+                    self.counters[cpu].data_reads += 1;
+                }
+                match self.config.protocol() {
+                    ProtocolKind::Base => base::data(self, cpu, write, block),
+                    ProtocolKind::NoCache => no_cache::data(self, cpu, write, access.addr, block),
+                    ProtocolKind::SoftwareFlush => {
+                        software_flush::data(self, cpu, write, block)
+                    }
+                    ProtocolKind::Dragon => dragon::data(self, cpu, write, block),
+                    ProtocolKind::WriteInvalidate => {
+                        write_invalidate::data(self, cpu, write, block)
+                    }
+                }
+            }
+            AccessKind::Flush => {
+                if self.config.protocol().uses_flushes() {
+                    software_flush::flush(self, cpu, block);
+                }
+                // Other protocols never see flush records: their traces
+                // are generated without them; stray ones are skipped.
+            }
+        }
+    }
+
+    /// Instruction fetch, common to all protocols: one execution cycle
+    /// plus a memory miss if absent. (Code is per-processor in our
+    /// traces, so fetch misses are always memory-sourced.)
+    fn fetch(&mut self, cpu: usize, block: BlockAddr) {
+        self.counters[cpu].instructions += 1;
+        self.bus_op(cpu, Operation::Instruction);
+        if self.caches[cpu].touch(block).is_none() {
+            self.counters[cpu].instr_misses += 1;
+            let dirty = self.fill(cpu, block, LineState::Clean);
+            self.miss_op(cpu, dirty, false);
+        }
+    }
+
+    /// Charges one hardware operation: CPU time always, interconnect
+    /// time with FCFS arbitration (bus) or per-link path reservation
+    /// (network) and contention accounting.
+    pub(crate) fn bus_op(&mut self, cpu: usize, op: Operation) {
+        let cost = self.op_cost(op);
+        let hold = match self.config.service() {
+            ServiceDiscipline::Fixed => u64::from(cost.interconnect()),
+            ServiceDiscipline::Exponential if cost.interconnect() > 0 => {
+                self.exponential_cycles(f64::from(cost.interconnect()))
+            }
+            ServiceDiscipline::Exponential => 0,
+        };
+        if hold > 0 {
+            let request = self.time[cpu];
+            let grant = self.reserve(request, hold);
+            let wait = grant - request;
+            self.bus_busy += hold;
+            self.counters[cpu].contention_cycles += wait;
+            // The processor holds the operation for its local cycles
+            // plus however long the transfer actually took.
+            self.time[cpu] = request + wait + u64::from(cost.local()) + hold;
+        } else {
+            self.time[cpu] += u64::from(cost.cpu());
+        }
+        self.counters[cpu].cycles = self.time[cpu];
+    }
+
+    /// The cost of `op` under the active interconnect's cost table.
+    fn op_cost(&self, op: Operation) -> OpCost {
+        match &self.fabric {
+            Fabric::Bus { .. } => self
+                .config
+                .system()
+                .cost(op)
+                .expect("bus system model defines every operation"),
+            Fabric::Network { system, .. } => system.cost(op).unwrap_or_else(|| {
+                panic!(
+                    "operation {op} is snoopy and undefined on a network                      (config validation should have rejected this protocol)"
+                )
+            }),
+        }
+    }
+
+    /// Reserves the interconnect for `hold` cycles starting no earlier
+    /// than `request`; returns the grant time.
+    ///
+    /// On the bus this is the single FCFS high-water mark. On the
+    /// network the whole source→module path (destination-tag routing)
+    /// is reserved at the earliest instant every link is free — a
+    /// waiting circuit establishment, the FCFS analogue of the
+    /// drop-and-retry fabric in [`crate::network`].
+    fn reserve(&mut self, request: u64, hold: u64) -> u64 {
+        match &mut self.fabric {
+            Fabric::Bus { free } => {
+                let grant = request.max(*free);
+                *free = grant + hold;
+                grant
+            }
+            Fabric::Network { system, links } => {
+                let n = system.stages();
+                let src = self.pending_cpu;
+                let dst = self.pending_dst;
+                let link_id = |i: u32| -> usize {
+                    let low = n - i - 1;
+                    let mask = (1u32 << low) - 1;
+                    (((dst >> low) << low) | (src & mask)) as usize
+                };
+                let mut grant = request;
+                for i in 0..n {
+                    grant = grant.max(links[i as usize][link_id(i)]);
+                }
+                for i in 0..n {
+                    links[i as usize][link_id(i)] = grant + hold;
+                }
+                grant
+            }
+        }
+    }
+
+    /// Samples an exponential service time with the given mean,
+    /// stochastically rounded to whole cycles (minimum 1) so the
+    /// long-run mean is preserved.
+    fn exponential_cycles(&mut self, mean: f64) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let x = (-mean * u.ln()).max(f64::EPSILON);
+        let floor = x.floor();
+        let frac = x - floor;
+        let rounded = floor as u64 + u64::from(self.rng.gen_bool(frac));
+        rounded.max(1)
+    }
+
+    /// Charges the appropriate miss operation.
+    pub(crate) fn miss_op(&mut self, cpu: usize, dirty_victim: bool, from_cache: bool) {
+        use swcc_core::system::MissSource;
+        let source = if from_cache {
+            self.counters[cpu].cache_sourced_misses += 1;
+            MissSource::Cache
+        } else {
+            MissSource::Memory
+        };
+        let op = if dirty_victim {
+            Operation::DirtyMiss(source)
+        } else {
+            Operation::CleanMiss(source)
+        };
+        self.bus_op(cpu, op);
+    }
+
+    /// Inserts a block, returning whether the victim was dirty (and
+    /// counting the write-back).
+    pub(crate) fn fill(&mut self, cpu: usize, block: BlockAddr, state: LineState) -> bool {
+        let ev = self.caches[cpu].insert(block, state);
+        let dirty = ev.victim.is_some_and(|(_, s)| s.is_dirty());
+        if dirty {
+            self.counters[cpu].dirty_replacements += 1;
+        }
+        dirty
+    }
+
+    /// The other caches currently holding `block`.
+    pub(crate) fn other_holders(&self, cpu: usize, block: BlockAddr) -> Vec<usize> {
+        (0..self.caches.len())
+            .filter(|&o| o != cpu && self.caches[o].peek(block).is_some())
+            .collect()
+    }
+
+    /// The cache (other than `cpu`) that owns `block` dirty, if any.
+    pub(crate) fn find_owner(&self, cpu: usize, block: BlockAddr) -> Option<usize> {
+        (0..self.caches.len())
+            .find(|&o| o != cpu && self.caches[o].peek(block).is_some_and(LineState::is_dirty))
+    }
+
+    /// Whether the software schemes treat `addr` as shared.
+    pub(crate) fn is_shared_addr(&self, addr: Addr) -> bool {
+        self.config.shared_policy().is_shared(addr)
+    }
+}
+
+/// Runs a trace through a fresh machine — the one-call entry point.
+///
+/// # Examples
+///
+/// ```
+/// use swcc_sim::{simulate, ProtocolKind, SimConfig};
+/// use swcc_trace::synth::pops_like;
+///
+/// let trace = pops_like(4, 5_000, 1).generate();
+/// let report = simulate(&trace, &SimConfig::new(ProtocolKind::Dragon));
+/// assert!(report.power() > 1.0);
+/// ```
+pub fn simulate(trace: &Trace, config: &SimConfig) -> SimReport {
+    Multiprocessor::new(config.clone(), trace.cpus().max(1)).run(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swcc_trace::CpuId;
+
+    fn acc(cpu: u16, kind: AccessKind, addr: u64) -> Access {
+        Access::new(CpuId(cpu), kind, Addr(addr))
+    }
+
+    fn machine(protocol: ProtocolKind, cpus: u16) -> Multiprocessor {
+        Multiprocessor::new(SimConfig::new(protocol), cpus)
+    }
+
+    #[test]
+    fn single_instruction_costs_one_cycle_plus_miss() {
+        let mut m = machine(ProtocolKind::Base, 1);
+        m.step(0, acc(0, AccessKind::Fetch, 0x0));
+        // 1 (instruction) + 10 (clean miss from memory).
+        assert_eq!(m.time[0], 11);
+        assert_eq!(m.counters[0].instr_misses, 1);
+        // Second fetch of the same block: hit, 1 cycle.
+        m.step(0, acc(0, AccessKind::Fetch, 0x4));
+        assert_eq!(m.time[0], 12);
+    }
+
+    #[test]
+    fn bus_contention_is_accounted() {
+        let mut m = machine(ProtocolKind::Base, 2);
+        // Both cpus miss at time 0: the second waits for the first's
+        // 7 bus cycles.
+        m.step(0, acc(0, AccessKind::Fetch, 0x0));
+        m.step(1, acc(1, AccessKind::Fetch, 0x40000)); // cpu1's code
+        assert_eq!(m.counters[0].contention_cycles, 0);
+        assert_eq!(m.counters[1].contention_cycles, 7);
+        assert_eq!(m.bus_busy, 14);
+    }
+
+    #[test]
+    fn dirty_replacement_charges_dirty_miss() {
+        // Direct-mapped 8-block cache: blocks 0 and 8 conflict.
+        let mut b = SimConfig::builder(ProtocolKind::Base);
+        b.cache_bytes(8 * 16);
+        let mut m = Multiprocessor::new(b.build(), 1);
+        m.step(0, acc(0, AccessKind::Store, 0x0)); // miss, fill dirty
+        let t_after_first = m.time[0];
+        m.step(0, acc(0, AccessKind::Load, 0x80)); // conflict: dirty miss
+        assert_eq!(m.counters[0].dirty_replacements, 1);
+        // Dirty miss costs 14 cpu cycles.
+        assert_eq!(m.time[0] - t_after_first, 14);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let trace = swcc_trace::synth::pops_like(4, 3_000, 5).generate();
+        let cfg = SimConfig::new(ProtocolKind::Dragon);
+        let a = simulate(&trace, &cfg);
+        let b = simulate(&trace, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_counts_instructions() {
+        let trace = swcc_trace::synth::pops_like(2, 2_000, 5).generate();
+        let r = simulate(&trace, &SimConfig::new(ProtocolKind::Base));
+        assert_eq!(r.instructions(), 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine has")]
+    fn run_rejects_oversized_trace() {
+        let trace = swcc_trace::synth::pops_like(4, 100, 5).generate();
+        let mut m = machine(ProtocolKind::Base, 2);
+        let _ = m.run(&trace);
+    }
+
+    #[test]
+    fn utilization_without_misses_is_one() {
+        // Repeatedly fetch the same block: after the first miss, pure
+        // 1-cycle instructions.
+        let mut m = machine(ProtocolKind::Base, 1);
+        for _ in 0..1000 {
+            m.step(0, acc(0, AccessKind::Fetch, 0x0));
+        }
+        let r = m.report();
+        assert!(r.utilization(0) > 0.98);
+    }
+
+    #[test]
+    fn flush_records_are_skipped_by_non_sf_protocols() {
+        let mut m = machine(ProtocolKind::Base, 1);
+        m.step(0, acc(0, AccessKind::Flush, 0x8000_0000));
+        assert_eq!(m.time[0], 0);
+        assert_eq!(m.counters[0].flush_records, 0);
+    }
+
+    fn network_machine(protocol: ProtocolKind, stages: u32) -> Multiprocessor {
+        let mut b = SimConfig::builder(protocol);
+        b.network(stages);
+        Multiprocessor::new(b.build(), 1 << stages)
+    }
+
+    #[test]
+    fn network_fabric_uses_table9_costs() {
+        // 2 stages: a clean fetch costs 9 + 2n = 13 CPU cycles.
+        let mut m = network_machine(ProtocolKind::Base, 2);
+        m.step(0, acc(0, AccessKind::Fetch, 0x0));
+        assert_eq!(m.time[0], 1 + 13);
+    }
+
+    #[test]
+    fn network_fabric_allows_disjoint_paths_in_parallel() {
+        // cpu0 -> module(block 0) and cpu3 -> module(block 3) share no
+        // link in a 2-stage delta, so neither waits.
+        let mut m = network_machine(ProtocolKind::Base, 2);
+        m.step(0, acc(0, AccessKind::Load, 0x4000_0000)); // block = 0 mod 4
+        m.step(3, acc(3, AccessKind::Load, 0x4000_0030)); // block = 3 mod 4
+        assert_eq!(m.counters[0].contention_cycles, 0);
+        assert_eq!(m.counters[3].contention_cycles, 0);
+    }
+
+    #[test]
+    fn network_fabric_serializes_same_module_accesses() {
+        // Two cpus fetching blocks that map to the same memory module
+        // share at least the final-stage link.
+        let mut m = network_machine(ProtocolKind::Base, 2);
+        m.step(0, acc(0, AccessKind::Load, 0x4000_0000));
+        m.step(1, acc(1, AccessKind::Load, 0x4000_0040)); // also module 0
+        assert!(m.counters[1].contention_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "snoopy protocol")]
+    fn snoopy_protocols_are_rejected_on_networks() {
+        let mut b = SimConfig::builder(ProtocolKind::Dragon);
+        b.network(2);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "connects exactly")]
+    fn network_machine_requires_power_of_two_cpus() {
+        let mut b = SimConfig::builder(ProtocolKind::Base);
+        b.network(2);
+        let _ = Multiprocessor::new(b.build(), 3);
+    }
+
+    #[test]
+    fn trace_runs_end_to_end_on_the_network_fabric() {
+        let trace = swcc_trace::synth::pops_like(4, 3_000, 9).generate();
+        let mut b = SimConfig::builder(ProtocolKind::NoCache);
+        b.network(2);
+        let mut m = Multiprocessor::new(b.build(), 4);
+        let r = m.run(&trace);
+        assert_eq!(r.instructions(), 12_000);
+        assert!(r.power() > 1.0 && r.power() <= 4.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! No-Cache protocol: shared addresses bypass the cache.
+//!
+//! Loads of shared words become read-throughs (5 CPU / 4 bus cycles),
+//! stores write-throughs (2 / 1). Unshared data behaves exactly like the
+//! Base protocol. The shared predicate is the configured
+//! [`crate::config::SharedPolicy`] — the simulator equivalent of the
+//! page-table tag used by C.mmp and the Elxsi 6400.
+
+use swcc_core::system::Operation;
+use swcc_trace::{Addr, BlockAddr};
+
+use crate::machine::Multiprocessor;
+use crate::protocol::base;
+
+/// Handles a data reference under the No-Cache protocol.
+pub(crate) fn data(m: &mut Multiprocessor, cpu: usize, write: bool, addr: Addr, block: BlockAddr) {
+    if m.is_shared_addr(addr) {
+        if write {
+            m.counters[cpu].write_throughs += 1;
+            m.bus_op(cpu, Operation::WriteThrough);
+        } else {
+            m.counters[cpu].read_throughs += 1;
+            m.bus_op(cpu, Operation::ReadThrough);
+        }
+    } else {
+        base::data(m, cpu, write, block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::protocol::ProtocolKind;
+    use swcc_trace::AddressLayout;
+
+    fn machine() -> Multiprocessor {
+        Multiprocessor::new(SimConfig::new(ProtocolKind::NoCache), 2)
+    }
+
+    const SHARED: u64 = AddressLayout::SHARED_BASE;
+
+    #[test]
+    fn shared_load_is_a_read_through() {
+        let mut m = machine();
+        let addr = Addr(SHARED + 0x40);
+        data(&mut m, 0, false, addr, addr.block(4));
+        assert_eq!(m.counters[0].read_throughs, 1);
+        assert_eq!(m.time[0], 5);
+        // Nothing was cached.
+        assert_eq!(m.caches[0].occupancy(), 0);
+    }
+
+    #[test]
+    fn shared_store_is_a_write_through() {
+        let mut m = machine();
+        let addr = Addr(SHARED);
+        data(&mut m, 0, true, addr, addr.block(4));
+        assert_eq!(m.counters[0].write_throughs, 1);
+        assert_eq!(m.time[0], 2);
+    }
+
+    #[test]
+    fn repeated_shared_loads_never_hit() {
+        let mut m = machine();
+        let addr = Addr(SHARED + 0x10);
+        for _ in 0..5 {
+            data(&mut m, 0, false, addr, addr.block(4));
+        }
+        assert_eq!(m.counters[0].read_throughs, 5);
+        assert_eq!(m.time[0], 25);
+    }
+
+    #[test]
+    fn private_data_behaves_like_base() {
+        let mut m = machine();
+        let addr = Addr(AddressLayout::PRIVATE_BASE);
+        data(&mut m, 0, false, addr, addr.block(4));
+        data(&mut m, 0, false, addr, addr.block(4));
+        assert_eq!(m.counters[0].data_misses, 1);
+        assert_eq!(m.counters[0].read_throughs, 0);
+        assert_eq!(m.time[0], 10, "one clean miss, then a free hit");
+    }
+}

@@ -1,0 +1,238 @@
+//! Simulation results: the statistics the paper's simulator computed.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::CpuCounters;
+use crate::protocol::ProtocolKind;
+
+/// The result of one simulation run.
+///
+/// Exposes the paper's validation metrics: miss rates, cycles lost to
+/// bus contention, processor utilization, and processing power.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimReport {
+    protocol: ProtocolKind,
+    cpus: Vec<CpuCounters>,
+    bus_busy: u64,
+    makespan: u64,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        protocol: ProtocolKind,
+        cpus: Vec<CpuCounters>,
+        bus_busy: u64,
+        makespan: u64,
+    ) -> Self {
+        SimReport {
+            protocol,
+            cpus,
+            bus_busy,
+            makespan,
+        }
+    }
+
+    /// The protocol simulated.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// Number of processors.
+    pub fn cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Per-processor counters.
+    pub fn counters(&self, cpu: usize) -> &CpuCounters {
+        &self.cpus[cpu]
+    }
+
+    /// Total instructions executed (across processors, excluding flush
+    /// records).
+    pub fn instructions(&self) -> u64 {
+        self.cpus.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Total data references.
+    pub fn data_refs(&self) -> u64 {
+        self.cpus.iter().map(|c| c.data_reads + c.data_writes).sum()
+    }
+
+    /// Data references that went through the cache (excludes No-Cache's
+    /// read/write-throughs).
+    pub fn cached_data_refs(&self) -> u64 {
+        self.data_refs()
+            - self
+                .cpus
+                .iter()
+                .map(|c| c.read_throughs + c.write_throughs)
+                .sum::<u64>()
+    }
+
+    /// Total data misses.
+    pub fn data_misses(&self) -> u64 {
+        self.cpus.iter().map(|c| c.data_misses).sum()
+    }
+
+    /// Total instruction misses.
+    pub fn instr_misses(&self) -> u64 {
+        self.cpus.iter().map(|c| c.instr_misses).sum()
+    }
+
+    /// Measured data miss rate `msdat` (misses per cached data
+    /// reference).
+    pub fn msdat(&self) -> f64 {
+        ratio(self.data_misses(), self.cached_data_refs())
+    }
+
+    /// Measured instruction miss rate `mains`.
+    pub fn mains(&self) -> f64 {
+        ratio(self.instr_misses(), self.instructions())
+    }
+
+    /// Measured dirty-replacement probability `md` (write-backs per
+    /// miss).
+    pub fn md(&self) -> f64 {
+        let dirty: u64 = self.cpus.iter().map(|c| c.dirty_replacements).sum();
+        ratio(dirty, self.data_misses() + self.instr_misses())
+    }
+
+    /// One processor's utilization: productive (1-cycle) instructions
+    /// over its total cycles.
+    pub fn utilization(&self, cpu: usize) -> f64 {
+        let c = &self.cpus[cpu];
+        if c.cycles == 0 {
+            0.0
+        } else {
+            c.instructions as f64 / c.cycles as f64
+        }
+    }
+
+    /// Processing power: the sum of per-processor utilizations (the
+    /// paper's `n × U` for homogeneous workloads).
+    pub fn power(&self) -> f64 {
+        (0..self.cpus.len()).map(|c| self.utilization(c)).sum()
+    }
+
+    /// Mean cycles per instruction across processors (the simulated
+    /// `c + w`).
+    pub fn cycles_per_instruction(&self) -> f64 {
+        let cycles: u64 = self.cpus.iter().map(|c| c.cycles).sum();
+        ratio(cycles, self.instructions())
+    }
+
+    /// Mean bus-contention cycles per instruction (the simulated `w`).
+    pub fn contention_per_instruction(&self) -> f64 {
+        let wait: u64 = self.cpus.iter().map(|c| c.contention_cycles).sum();
+        ratio(wait, self.instructions())
+    }
+
+    /// Bus utilization: busy cycles over the longest processor's clock.
+    pub fn bus_utilization(&self) -> f64 {
+        ratio(self.bus_busy, self.makespan)
+    }
+
+    /// The longest processor clock at completion.
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x{}: power={:.3} cpi={:.3} w={:.3} msdat={:.4} mains={:.4} bus={:.1}%",
+            self.protocol,
+            self.cpus.len(),
+            self.power(),
+            self.cycles_per_instruction(),
+            self.contention_per_instruction(),
+            self.msdat(),
+            self.mains(),
+            self.bus_utilization() * 100.0
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::machine::simulate;
+    use swcc_trace::synth::pops_like;
+
+    fn report(protocol: ProtocolKind) -> SimReport {
+        let trace = pops_like(4, 8_000, 11).generate();
+        simulate(&trace, &SimConfig::new(protocol))
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        for p in ProtocolKind::ALL {
+            let r = report(p);
+            for cpu in 0..r.cpus() {
+                let u = r.utilization(cpu);
+                assert!((0.0..=1.0).contains(&u), "{p} cpu{cpu}: {u}");
+            }
+            assert!(r.power() <= r.cpus() as f64);
+        }
+    }
+
+    #[test]
+    fn base_outperforms_software_schemes() {
+        let base = report(ProtocolKind::Base).power();
+        let nc = report(ProtocolKind::NoCache).power();
+        assert!(base > nc, "base {base:.2} vs no-cache {nc:.2}");
+    }
+
+    #[test]
+    fn miss_rates_are_small_for_locality_heavy_workloads() {
+        let r = report(ProtocolKind::Base);
+        assert!(r.msdat() < 0.2, "msdat {}", r.msdat());
+        assert!(r.mains() < 0.1, "mains {}", r.mains());
+    }
+
+    #[test]
+    fn no_cache_reports_throughs() {
+        let r = report(ProtocolKind::NoCache);
+        let throughs: u64 = (0..r.cpus())
+            .map(|c| r.counters(c).read_throughs + r.counters(c).write_throughs)
+            .sum();
+        assert!(throughs > 0);
+        assert!(r.cached_data_refs() < r.data_refs());
+    }
+
+    #[test]
+    fn dragon_reports_broadcasts() {
+        let r = report(ProtocolKind::Dragon);
+        let b: u64 = (0..r.cpus()).map(|c| r.counters(c).broadcasts).sum();
+        assert!(b > 0, "a sharing workload must broadcast");
+    }
+
+    #[test]
+    fn bus_utilization_is_a_fraction() {
+        for p in ProtocolKind::ALL {
+            let r = report(p);
+            let u = r.bus_utilization();
+            assert!((0.0..=1.0).contains(&u), "{p}: {u}");
+        }
+    }
+
+    #[test]
+    fn cpi_decomposes_into_demand_plus_wait() {
+        let r = report(ProtocolKind::Base);
+        assert!(r.cycles_per_instruction() > 1.0);
+        assert!(r.contention_per_instruction() < r.cycles_per_instruction());
+    }
+}

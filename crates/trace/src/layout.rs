@@ -1,0 +1,208 @@
+//! Address-space layout for synthetic workloads.
+//!
+//! The generator places each processor's code and private data in
+//! disjoint per-processor segments and all shared data in one common
+//! segment, so any address can be classified after the fact. This is how
+//! the software schemes identify shared data in practice too: shared
+//! variables live in regions marked uncacheable (No-Cache) or
+//! flush-managed (Software-Flush) via a page-table tag.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Addr, CpuId};
+
+/// Classification of an address by [`AddressLayout::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Instruction space of one processor.
+    Code(CpuId),
+    /// Private data of one processor.
+    Private(CpuId),
+    /// The shared-data segment.
+    Shared,
+    /// Not within any configured segment.
+    Unmapped,
+}
+
+/// The segmented address space used by the synthetic generator.
+///
+/// Segments (byte addresses):
+///
+/// * code for cpu *i*: `[CODE_BASE + i·code_size, …)`
+/// * private data for cpu *i*: `[PRIVATE_BASE + i·private_size, …)`
+/// * shared data: `[SHARED_BASE, SHARED_BASE + shared_size)`
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressLayout {
+    cpus: u16,
+    code_size: u64,
+    private_size: u64,
+    shared_size: u64,
+}
+
+impl AddressLayout {
+    /// Base of the code segments.
+    pub const CODE_BASE: u64 = 0x0000_0000;
+    /// Base of the private-data segments.
+    pub const PRIVATE_BASE: u64 = 0x4000_0000;
+    /// Base of the shared-data segment.
+    pub const SHARED_BASE: u64 = 0x8000_0000;
+
+    /// Creates a layout for `cpus` processors with per-cpu code and
+    /// private segments of the given byte sizes and one shared segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero, if `cpus` is zero, or if the per-cpu
+    /// segments would overflow into the next base.
+    pub fn new(cpus: u16, code_size: u64, private_size: u64, shared_size: u64) -> Self {
+        assert!(cpus > 0, "need at least one cpu");
+        assert!(
+            code_size > 0 && private_size > 0 && shared_size > 0,
+            "segment sizes must be nonzero"
+        );
+        assert!(
+            u64::from(cpus) * code_size <= Self::PRIVATE_BASE - Self::CODE_BASE,
+            "code segments overflow"
+        );
+        assert!(
+            u64::from(cpus) * private_size <= Self::SHARED_BASE - Self::PRIVATE_BASE,
+            "private segments overflow"
+        );
+        AddressLayout {
+            cpus,
+            code_size,
+            private_size,
+            shared_size,
+        }
+    }
+
+    /// Number of processors.
+    pub fn cpus(&self) -> u16 {
+        self.cpus
+    }
+
+    /// Byte size of each code segment.
+    pub fn code_size(&self) -> u64 {
+        self.code_size
+    }
+
+    /// Byte size of each private-data segment.
+    pub fn private_size(&self) -> u64 {
+        self.private_size
+    }
+
+    /// Byte size of the shared segment.
+    pub fn shared_size(&self) -> u64 {
+        self.shared_size
+    }
+
+    /// First address of `cpu`'s code segment.
+    pub fn code_base(&self, cpu: CpuId) -> Addr {
+        Addr(Self::CODE_BASE + u64::from(cpu.0) * self.code_size)
+    }
+
+    /// First address of `cpu`'s private-data segment.
+    pub fn private_base(&self, cpu: CpuId) -> Addr {
+        Addr(Self::PRIVATE_BASE + u64::from(cpu.0) * self.private_size)
+    }
+
+    /// First address of the shared segment.
+    pub fn shared_base(&self) -> Addr {
+        Addr(Self::SHARED_BASE)
+    }
+
+    /// Whether `addr` lies in the shared segment. This is the predicate
+    /// the software coherence schemes use (the page-table tag).
+    pub fn is_shared(&self, addr: Addr) -> bool {
+        matches!(self.classify(addr), Region::Shared)
+    }
+
+    /// Classifies an address into its region.
+    pub fn classify(&self, addr: Addr) -> Region {
+        let a = addr.0;
+        if a >= Self::SHARED_BASE {
+            if a < Self::SHARED_BASE + self.shared_size {
+                Region::Shared
+            } else {
+                Region::Unmapped
+            }
+        } else if a >= Self::PRIVATE_BASE {
+            let off = a - Self::PRIVATE_BASE;
+            let cpu = off / self.private_size;
+            if cpu < u64::from(self.cpus) {
+                Region::Private(CpuId(cpu as u16))
+            } else {
+                Region::Unmapped
+            }
+        } else {
+            let cpu = a / self.code_size;
+            if cpu < u64::from(self.cpus) {
+                Region::Code(CpuId(cpu as u16))
+            } else {
+                Region::Unmapped
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> AddressLayout {
+        AddressLayout::new(4, 0x10000, 0x20000, 0x40000)
+    }
+
+    #[test]
+    fn classifies_code_per_cpu() {
+        let l = layout();
+        assert_eq!(l.classify(Addr(0x0)), Region::Code(CpuId(0)));
+        assert_eq!(l.classify(Addr(0x10000)), Region::Code(CpuId(1)));
+        assert_eq!(l.classify(Addr(0x3ffff)), Region::Code(CpuId(3)));
+        assert_eq!(l.classify(Addr(0x40000)), Region::Unmapped);
+    }
+
+    #[test]
+    fn classifies_private_per_cpu() {
+        let l = layout();
+        let base = AddressLayout::PRIVATE_BASE;
+        assert_eq!(l.classify(Addr(base)), Region::Private(CpuId(0)));
+        assert_eq!(l.classify(Addr(base + 0x20000)), Region::Private(CpuId(1)));
+        assert_eq!(l.classify(Addr(base + 4 * 0x20000)), Region::Unmapped);
+    }
+
+    #[test]
+    fn classifies_shared() {
+        let l = layout();
+        let base = AddressLayout::SHARED_BASE;
+        assert!(l.is_shared(Addr(base)));
+        assert!(l.is_shared(Addr(base + 0x3ffff)));
+        assert!(!l.is_shared(Addr(base + 0x40000)));
+        assert!(!l.is_shared(Addr(0x0)));
+    }
+
+    #[test]
+    fn bases_round_trip_through_classify() {
+        let l = layout();
+        for cpu in 0..4u16 {
+            assert_eq!(l.classify(l.code_base(CpuId(cpu))), Region::Code(CpuId(cpu)));
+            assert_eq!(
+                l.classify(l.private_base(CpuId(cpu))),
+                Region::Private(CpuId(cpu))
+            );
+        }
+        assert_eq!(l.classify(l.shared_base()), Region::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_sizes() {
+        let _ = AddressLayout::new(2, 0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cpu")]
+    fn rejects_zero_cpus() {
+        let _ = AddressLayout::new(0, 1, 1, 1);
+    }
+}

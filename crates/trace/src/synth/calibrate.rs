@@ -1,0 +1,251 @@
+//! Calibrating the generator to target workload parameters.
+//!
+//! The analytical model speaks Table 2 parameters; the generator speaks
+//! structural knobs (region sizes, run lengths, reuse probabilities).
+//! [`calibrate`] closes the loop: given targets for the trace-level
+//! parameters (`ls`, `shd`, `wr`, `apl`), it searches the generator
+//! configuration until a generated trace *measures back* within
+//! tolerance — so users can say "give me a POPS-scale trace with
+//! `shd = 0.3` and `apl ≈ 5`" and trust the result.
+//!
+//! `ls`, `shd`, and `wr` map almost directly onto generator knobs (the
+//! interleaving perturbs them only slightly); `apl` emerges from the
+//! critical-section run length and the interleaving, so it is tuned by
+//! a short multiplicative-feedback iteration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::Trace;
+use crate::stats::TraceStats;
+use crate::synth::{SynthConfig, SynthConfigBuilder};
+
+/// Targets for trace-level workload parameters.
+///
+/// All fields are optional; omitted parameters keep the builder's
+/// current values.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CalibrationTarget {
+    /// Target data-references-per-instruction.
+    pub ls: Option<f64>,
+    /// Target fraction of data references to shared blocks.
+    pub shd: Option<f64>,
+    /// Target store fraction.
+    pub wr: Option<f64>,
+    /// Target mean write-run length on shared blocks.
+    pub apl: Option<f64>,
+}
+
+/// The outcome of a calibration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The tuned configuration.
+    pub config: SynthConfig,
+    /// Parameters measured from the final trace.
+    pub measured_ls: f64,
+    /// Measured shared fraction.
+    pub measured_shd: f64,
+    /// Measured store fraction.
+    pub measured_wr: f64,
+    /// Measured `apl` (None for single-processor traces).
+    pub measured_apl: Option<f64>,
+    /// Feedback iterations used (0 if no `apl` target).
+    pub iterations: u32,
+}
+
+impl Calibration {
+    /// Generates a trace from the calibrated configuration.
+    pub fn generate(&self) -> Trace {
+        self.config.generate()
+    }
+}
+
+/// Tunes `builder` until a generated trace measures within `tolerance`
+/// (relative) of the targets. The builder's processor count,
+/// instruction budget, and seed are respected; generation during the
+/// search uses the same budget, so keep it moderate (20–50k
+/// instructions per cpu measures `apl` reliably).
+///
+/// Returns the best configuration found even if the tolerance was not
+/// met within the iteration budget — inspect the `measured_*` fields.
+///
+/// # Panics
+///
+/// Panics if a target is outside its domain (probabilities in `[0, 1]`,
+/// `apl >= 1`), mirroring the builder's own validation.
+///
+/// # Examples
+///
+/// ```
+/// use swcc_trace::synth::{calibrate, CalibrationTarget, SynthConfig};
+///
+/// let mut builder = SynthConfig::builder();
+/// builder.cpus(4).instructions_per_cpu(20_000).seed(7);
+/// let target = CalibrationTarget {
+///     shd: Some(0.3),
+///     apl: Some(5.0),
+///     ..CalibrationTarget::default()
+/// };
+/// let calibration = calibrate(&builder, target, 0.15);
+/// let apl = calibration.measured_apl.expect("multiprocessor trace");
+/// assert!((apl - 5.0).abs() / 5.0 < 0.25);
+/// ```
+pub fn calibrate(
+    builder: &SynthConfigBuilder,
+    target: CalibrationTarget,
+    tolerance: f64,
+) -> Calibration {
+    let mut b = builder.clone();
+    // Direct knobs first.
+    if let Some(ls) = target.ls {
+        assert!((0.0..=1.0).contains(&ls), "ls target must be in [0,1]");
+        b.ls(ls);
+    }
+    if let Some(shd) = target.shd {
+        assert!((0.0..=1.0).contains(&shd), "shd target must be in [0,1]");
+        b.shd(shd);
+    }
+    if let Some(wr) = target.wr {
+        assert!((0.0..=1.0).contains(&wr), "wr target must be in [0,1]");
+        // wr applies to both private and shared stores so the blended
+        // store fraction hits the target regardless of shd.
+        b.wr_private(wr).wr_shared(wr);
+    }
+    if let Some(apl) = target.apl {
+        assert!(apl >= 1.0, "apl target must be >= 1");
+    }
+
+    let measure = |cfg: &SynthConfig| -> TraceStats {
+        TraceStats::measure(&cfg.generate(), 4)
+    };
+
+    // apl feedback: measured apl grows with run_length but sub-linearly
+    // (interleaving splits runs), so adjust multiplicatively.
+    let mut iterations = 0;
+    if let Some(apl_target) = target.apl {
+        let mut run_length = apl_target.max(1.0);
+        for _ in 0..12 {
+            b.run_length(run_length);
+            let stats = measure(&b.build());
+            let Some(measured) = stats.apl_estimate() else {
+                break; // no inter-processor runs to measure
+            };
+            iterations += 1;
+            let error = (measured - apl_target).abs() / apl_target;
+            if error <= tolerance {
+                break;
+            }
+            // Move run_length by the measured shortfall, damped.
+            let factor = (apl_target / measured).clamp(0.25, 4.0);
+            run_length = (run_length * factor.sqrt() * factor.sqrt()).max(1.0);
+        }
+    }
+
+    let config = b.build();
+    let stats = measure(&config);
+    Calibration {
+        config,
+        measured_ls: stats.ls(),
+        measured_shd: stats.shd(),
+        measured_wr: stats.wr(),
+        measured_apl: stats.apl_estimate(),
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SynthConfigBuilder {
+        let mut b = SynthConfig::builder();
+        b.cpus(4).instructions_per_cpu(25_000).seed(0xCA11);
+        b
+    }
+
+    #[test]
+    fn direct_knobs_hit_their_targets() {
+        let cal = calibrate(
+            &base(),
+            CalibrationTarget {
+                ls: Some(0.35),
+                shd: Some(0.30),
+                wr: Some(0.20),
+                apl: None,
+            },
+            0.1,
+        );
+        assert!((cal.measured_ls - 0.35).abs() < 0.02, "ls {}", cal.measured_ls);
+        assert!((cal.measured_shd - 0.30).abs() < 0.05, "shd {}", cal.measured_shd);
+        assert!((cal.measured_wr - 0.20).abs() < 0.03, "wr {}", cal.measured_wr);
+        assert_eq!(cal.iterations, 0);
+    }
+
+    #[test]
+    fn apl_feedback_converges() {
+        for target in [3.0, 8.0] {
+            let cal = calibrate(
+                &base(),
+                CalibrationTarget {
+                    apl: Some(target),
+                    ..CalibrationTarget::default()
+                },
+                0.15,
+            );
+            let measured = cal.measured_apl.expect("4-cpu trace has runs");
+            assert!(
+                (measured - target).abs() / target < 0.25,
+                "target {target}: measured {measured} after {} iterations",
+                cal.iterations
+            );
+            assert!(cal.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let t = CalibrationTarget {
+            shd: Some(0.25),
+            apl: Some(5.0),
+            ..CalibrationTarget::default()
+        };
+        let a = calibrate(&base(), t, 0.15);
+        let b = calibrate(&base(), t, 0.15);
+        assert_eq!(a, b);
+        assert_eq!(a.generate(), b.generate());
+    }
+
+    #[test]
+    #[should_panic(expected = "apl target must be >= 1")]
+    fn rejects_bad_apl_target() {
+        let _ = calibrate(
+            &base(),
+            CalibrationTarget {
+                apl: Some(0.5),
+                ..CalibrationTarget::default()
+            },
+            0.1,
+        );
+    }
+
+    #[test]
+    fn empty_target_is_identity() {
+        let cal = calibrate(&base(), CalibrationTarget::default(), 0.1);
+        assert_eq!(cal.config, base().build());
+        assert_eq!(cal.iterations, 0);
+    }
+
+    #[test]
+    fn single_cpu_apl_target_degrades_gracefully() {
+        let mut b = SynthConfig::builder();
+        b.cpus(1).instructions_per_cpu(5_000).seed(1);
+        let cal = calibrate(
+            &b,
+            CalibrationTarget {
+                apl: Some(4.0),
+                ..CalibrationTarget::default()
+            },
+            0.1,
+        );
+        assert_eq!(cal.measured_apl, None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Trace transformations: splitting, interleaving, and address mapping.
+//!
+//! Small, well-tested utilities for working with multiprocessor traces
+//! — extracting per-processor streams, re-interleaving them (the
+//! round-robin discipline ATUM-2-style tools used), windowing, and
+//! remapping address spaces.
+
+use crate::record::{Access, CpuId, Trace};
+
+/// Splits a trace into per-processor substreams, preserving order.
+///
+/// The result has one entry per processor (index = processor id), some
+/// possibly empty.
+pub fn split(trace: &Trace) -> Vec<Vec<Access>> {
+    let mut streams: Vec<Vec<Access>> = vec![Vec::new(); usize::from(trace.cpus())];
+    for a in trace {
+        streams[a.cpu.index()].push(*a);
+    }
+    streams
+}
+
+/// Interleaves per-processor streams round-robin (one record from each
+/// non-exhausted stream per turn), assigning processor ids by stream
+/// position.
+///
+/// This is the interleaving discipline the paper's traces approximate;
+/// use it to rebuild a multiprocessor trace from independently captured
+/// uniprocessor streams.
+pub fn interleave<I>(streams: I) -> Trace
+where
+    I: IntoIterator,
+    I::Item: IntoIterator<Item = Access>,
+{
+    let mut iters: Vec<_> = streams
+        .into_iter()
+        .map(|s| s.into_iter())
+        .collect();
+    let cpus = iters.len() as u16;
+    let mut trace = Trace::new(cpus);
+    let mut exhausted = vec![false; iters.len()];
+    let mut remaining = iters.len();
+    while remaining > 0 {
+        for (i, it) in iters.iter_mut().enumerate() {
+            if exhausted[i] {
+                continue;
+            }
+            match it.next() {
+                Some(mut a) => {
+                    a.cpu = CpuId(i as u16);
+                    trace.push(a);
+                }
+                None => {
+                    exhausted[i] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// Keeps only the first `records` records (a warm-up-free prefix).
+pub fn prefix(trace: &Trace, records: usize) -> Trace {
+    let mut out = Trace::new(trace.cpus());
+    for a in trace.iter().take(records) {
+        out.push(*a);
+    }
+    out
+}
+
+/// Applies an address transformation to every record (e.g. relocating
+/// a segment, masking high bits for a smaller simulated machine).
+pub fn map_addresses(trace: &Trace, mut f: impl FnMut(Access) -> Access) -> Trace {
+    let mut out = Trace::new(trace.cpus());
+    for a in trace {
+        let mapped = f(*a);
+        assert_eq!(
+            mapped.cpu, a.cpu,
+            "map_addresses must not reassign processors (use interleave/split)"
+        );
+        out.push(mapped);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AccessKind, Addr};
+
+    fn acc(cpu: u16, addr: u64) -> Access {
+        Access::new(cpu, AccessKind::Load, addr)
+    }
+
+    #[test]
+    fn split_then_interleave_round_trips_round_robin_traces() {
+        // A perfectly round-robin trace survives the round trip.
+        let t = Trace::from_records(vec![
+            acc(0, 0x10),
+            acc(1, 0x20),
+            acc(0, 0x11),
+            acc(1, 0x21),
+        ]);
+        let back = interleave(split(&t));
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn split_partitions_by_processor() {
+        let t = Trace::from_records(vec![acc(0, 1), acc(2, 2), acc(0, 3)]);
+        let s = split(&t);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].len(), 2);
+        assert_eq!(s[1].len(), 0);
+        assert_eq!(s[2].len(), 1);
+    }
+
+    #[test]
+    fn interleave_handles_uneven_streams() {
+        let a = vec![acc(0, 1), acc(0, 2), acc(0, 3)];
+        let b = vec![acc(0, 10)];
+        let t = interleave([a, b]);
+        assert_eq!(t.cpus(), 2);
+        let order: Vec<(u16, u64)> = t.iter().map(|r| (r.cpu.0, r.addr.0)).collect();
+        assert_eq!(order, vec![(0, 1), (1, 10), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn interleave_reassigns_cpu_ids() {
+        // Stream position wins over the records' original ids.
+        let s0 = vec![acc(5, 1)];
+        let s1 = vec![acc(9, 2)];
+        let t = interleave([s0, s1]);
+        assert_eq!(t.records()[0].cpu, CpuId(0));
+        assert_eq!(t.records()[1].cpu, CpuId(1));
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let t = Trace::from_records(vec![acc(0, 1), acc(1, 2), acc(0, 3)]);
+        let p = prefix(&t, 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.cpus(), 2);
+        assert_eq!(prefix(&t, 100).len(), 3);
+    }
+
+    #[test]
+    fn map_addresses_relocates() {
+        let t = Trace::from_records(vec![acc(0, 0x10), acc(1, 0x20)]);
+        let moved = map_addresses(&t, |mut a| {
+            a.addr = Addr(a.addr.0 + 0x1000);
+            a
+        });
+        assert_eq!(moved.records()[0].addr, Addr(0x1010));
+        assert_eq!(moved.records()[1].addr, Addr(0x1020));
+        assert_eq!(moved.cpus(), t.cpus());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not reassign processors")]
+    fn map_addresses_rejects_cpu_changes() {
+        let t = Trace::from_records(vec![acc(0, 0x10), acc(1, 0x10)]);
+        let _ = map_addresses(&t, |mut a| {
+            a.cpu = CpuId(0);
+            a
+        });
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert_eq!(interleave(Vec::<Vec<Access>>::new()).len(), 0);
+        let empty = Trace::new(2);
+        assert_eq!(split(&empty), vec![vec![], vec![]]);
+        assert_eq!(prefix(&empty, 5).len(), 0);
+    }
+}

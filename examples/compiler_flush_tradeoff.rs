@@ -1,0 +1,78 @@
+//! How good does the compiler have to be for Software-Flush to compete?
+//!
+//! The paper's §5.3 shows Software-Flush performance is dominated by
+//! `apl` — the number of references to a shared block between fetching
+//! and flushing, which is exactly what compiler-placed flushes control.
+//! This example sweeps `apl` and reports the break-even points against
+//! No-Cache and Dragon on an 8-processor bus, then repeats the exercise
+//! on a 256-processor network.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p swcc-experiments --example compiler_flush_tradeoff
+//! ```
+
+use swcc_core::network::analyze_network;
+use swcc_core::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    let system = BusSystemModel::new();
+    let base = WorkloadParams::default();
+
+    println!("Software-Flush vs apl (8-processor bus, middle workload)");
+    println!("{:>6} {:>12} {:>12} {:>12}", "apl", "SF power", "NoCache", "Dragon");
+    let no_cache = analyze_bus(Scheme::NoCache, &base, &system, 8)?.power();
+    let dragon = analyze_bus(Scheme::Dragon, &base, &system, 8)?.power();
+    let mut beats_no_cache: Option<f64> = None;
+    let mut reaches_90pct_dragon: Option<f64> = None;
+    for apl_i in 1..=64u32 {
+        let apl = f64::from(apl_i);
+        let w = base.with_param(ParamId::Apl, apl)?;
+        let sf = analyze_bus(Scheme::SoftwareFlush, &w, &system, 8)?.power();
+        if sf > no_cache && beats_no_cache.is_none() {
+            beats_no_cache = Some(apl);
+        }
+        if sf > 0.9 * dragon && reaches_90pct_dragon.is_none() {
+            reaches_90pct_dragon = Some(apl);
+        }
+        if apl_i.is_power_of_two() {
+            println!("{apl:>6.0} {sf:>12.3} {no_cache:>12.3} {dragon:>12.3}");
+        }
+    }
+    report("beat No-Cache", beats_no_cache);
+    report("reach 90% of Dragon", reaches_90pct_dragon);
+
+    println!();
+    println!("Same question at network scale (256 processors):");
+    let nc_net = analyze_network(Scheme::NoCache, &base, 8)?.power();
+    let base_net = analyze_network(Scheme::Base, &base, 8)?.power();
+    let mut beats_nc_net: Option<f64> = None;
+    let mut reaches_90pct_base: Option<f64> = None;
+    for apl_i in 1..=128u32 {
+        let apl = f64::from(apl_i);
+        let w = base.with_param(ParamId::Apl, apl)?;
+        let sf = analyze_network(Scheme::SoftwareFlush, &w, 8)?.power();
+        if sf > nc_net && beats_nc_net.is_none() {
+            beats_nc_net = Some(apl);
+        }
+        if sf > 0.9 * base_net && reaches_90pct_base.is_none() {
+            reaches_90pct_base = Some(apl);
+        }
+    }
+    report("beat No-Cache on the network", beats_nc_net);
+    report("reach 90% of Base on the network", reaches_90pct_base);
+
+    println!();
+    println!("Paper §7: \"if a shared variable is frequently updated by different \
+              processors, it is likely to have about two references per flush, no \
+              matter how sophisticated the compiler\" — check where apl=2 lands above.");
+    Ok(())
+}
+
+fn report(goal: &str, apl: Option<f64>) {
+    match apl {
+        Some(a) => println!("  compiler must sustain apl >= {a:.0} to {goal}"),
+        None => println!("  no apl in range suffices to {goal}"),
+    }
+}

@@ -1,0 +1,73 @@
+//! Circuit versus packet switching, model versus simulation.
+//!
+//! The paper's conclusion (§7) conjectures that packet switching would
+//! be more favorable to No-Cache than the circuit-switched network it
+//! analyzed. This example puts all four tools side by side at 16
+//! processors: the Patel circuit model, the cut-through packet model,
+//! and cycle-level simulations of both fabrics — then scales the two
+//! models to 256 processors.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p swcc-experiments --example switching_disciplines
+//! ```
+
+use swcc_core::network::{analyze_network, analyze_network_packet};
+use swcc_core::prelude::*;
+use swcc_sim::{simulate_network, simulate_network_packet, NetworkSimConfig};
+
+fn main() -> Result<(), ModelError> {
+    let workload = WorkloadParams::default();
+    let stages = 4; // 16 processors
+    let sim_cfg = NetworkSimConfig {
+        stages,
+        instructions_per_cpu: 20_000,
+        seed: 0x5111,
+    };
+
+    println!("16 processors, middle workload — utilization (instructions/cycle):");
+    println!(
+        "{:<15} {:>14} {:>12} {:>13} {:>11}",
+        "scheme", "circuit model", "circuit sim", "packet model", "packet sim"
+    );
+    for scheme in [Scheme::Base, Scheme::SoftwareFlush, Scheme::NoCache] {
+        let cm = analyze_network(scheme, &workload, stages)?;
+        let cs = simulate_network(scheme, &workload, &sim_cfg)?;
+        let pm = analyze_network_packet(scheme, &workload, stages)?;
+        let ps = simulate_network_packet(scheme, &workload, &sim_cfg)?;
+        println!(
+            "{:<15} {:>14.4} {:>12.4} {:>13.4} {:>11.4}",
+            scheme.to_string(),
+            cm.utilization(),
+            cs.utilization(),
+            pm.utilization(),
+            ps.utilization()
+        );
+    }
+
+    println!();
+    println!("Scaling the two models to 256 processors (power):");
+    println!(
+        "{:<15} {:>12} {:>12} {:>16}",
+        "scheme", "circuit", "packet", "packet/circuit"
+    );
+    for scheme in [Scheme::Base, Scheme::SoftwareFlush, Scheme::NoCache] {
+        let c = analyze_network(scheme, &workload, 8)?.power();
+        let p = analyze_network_packet(scheme, &workload, 8)?.power();
+        println!(
+            "{:<15} {:>12.1} {:>12.1} {:>15.2}x",
+            scheme.to_string(),
+            c,
+            p,
+            p / c
+        );
+    }
+
+    println!();
+    println!("Reading the output: the packet/circuit gain is largest for No-Cache \
+              — its many one-word messages stop paying the 2n circuit setup — \
+              confirming the paper's conjecture, though Software-Flush retains \
+              the absolute lead.");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! End-to-end tests of the `repro` binary.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn list_names_every_registered_experiment() {
+    let out = repro().arg("list").output().expect("spawn repro list");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for e in swcc_experiments::EXPERIMENTS {
+        assert!(stdout.contains(e.id), "missing {}", e.id);
+    }
+}
+
+#[test]
+fn single_table_renders() {
+    let out = repro().args(["table7"]).output().expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 7"));
+    assert!(stdout.contains("1/apl"));
+}
+
+#[test]
+fn model_figures_render_with_plot_and_data() {
+    let out = repro().args(["fig5", "--quick"]).output().expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("legend:"));
+    assert!(stdout.contains("series: Dragon"));
+}
+
+#[test]
+fn json_output_parses_and_carries_ids() {
+    let out = repro()
+        .args(["table1", "fig7", "--json"])
+        .output()
+        .expect("spawn repro --json");
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON artifact array");
+    let arr = parsed.as_array().expect("array of [id, artifact]");
+    assert_eq!(arr.len(), 2);
+    assert_eq!(arr[0][0], "table1");
+    assert_eq!(arr[1][0], "fig7");
+    assert!(arr[1][1]["Figure"]["series"].is_array());
+}
+
+#[test]
+fn unknown_id_fails_with_usage() {
+    let out = repro().args(["fig99"]).output().expect("spawn repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment id"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = repro().output().expect("spawn repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
