@@ -6,9 +6,9 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use swcc_core::bus::analyze_bus;
+use swcc_core::bus::{analyze_bus, analyze_bus_sweep};
 use swcc_core::network::{analyze_network, solve};
-use swcc_core::queue::machine_repairman;
+use swcc_core::queue::{machine_repairman, machine_repairman_sweep};
 use swcc_core::scheme::Scheme;
 use swcc_core::system::BusSystemModel;
 use swcc_core::workload::WorkloadParams;
@@ -28,11 +28,17 @@ fn model_solvers(c: &mut Criterion) {
     c.bench_function("mva_1024_customers", |b| {
         b.iter(|| machine_repairman(black_box(1024), 0.37, 1.2).unwrap())
     });
+    c.bench_function("mva_sweep_1024_customers", |b| {
+        b.iter(|| machine_repairman_sweep(black_box(1024), 0.37, 1.2).unwrap())
+    });
     c.bench_function("patel_fixed_point_8_stages", |b| {
         b.iter(|| solve(black_box(0.03), 20.0, 8).unwrap())
     });
     c.bench_function("analyze_bus_dragon_16", |b| {
         b.iter(|| analyze_bus(Scheme::Dragon, &w, &sys, black_box(16)).unwrap())
+    });
+    c.bench_function("analyze_bus_sweep_dragon_64", |b| {
+        b.iter(|| analyze_bus_sweep(Scheme::Dragon, &w, &sys, black_box(64)).unwrap())
     });
     c.bench_function("analyze_network_sf_256cpu", |b| {
         b.iter(|| analyze_network(Scheme::SoftwareFlush, &w, black_box(8)).unwrap())
@@ -72,14 +78,10 @@ fn substrates(c: &mut Criterion) {
         seed: 7,
     };
     group.bench_function("netsim_circuit_16cpu", |b| {
-        b.iter(|| {
-            swcc_sim::simulate_network(Scheme::SoftwareFlush, &w, &net_cfg).unwrap()
-        })
+        b.iter(|| swcc_sim::simulate_network(Scheme::SoftwareFlush, &w, &net_cfg).unwrap())
     });
     group.bench_function("netsim_packet_16cpu", |b| {
-        b.iter(|| {
-            swcc_sim::simulate_network_packet(Scheme::SoftwareFlush, &w, &net_cfg).unwrap()
-        })
+        b.iter(|| swcc_sim::simulate_network_packet(Scheme::SoftwareFlush, &w, &net_cfg).unwrap())
     });
     group.finish();
 }

@@ -1,0 +1,199 @@
+//! `swcc-bench` — machine-readable sweep-engine benchmark.
+//!
+//! Times the batched MVA/bus sweep against the pointwise API and
+//! warm-started Patel solves against cold ones, then writes the
+//! results as JSON (default `BENCH_sweep.json`, or the path given as
+//! the first argument; `-` writes to stdout only).
+//!
+//! ```text
+//! cargo run --release -p swcc-bench --bin swcc-bench
+//! ```
+//!
+//! Unlike the Criterion benches this is a single fast pass (median of
+//! a few dozen batched samples), intended for regression tracking and
+//! for the README's performance table.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+use swcc_core::bus::{analyze_bus, analyze_bus_sweep};
+use swcc_core::network::WarmSolver;
+use swcc_core::queue::{machine_repairman, machine_repairman_sweep};
+use swcc_core::scheme::Scheme;
+use swcc_core::system::BusSystemModel;
+use swcc_core::workload::WorkloadParams;
+
+/// Populations in the benchmark curve (matches the paper's bus plots).
+const CURVE_POINTS: u32 = 64;
+/// Solves in the Patel rate sweep.
+const PATEL_SOLVES: u32 = 50;
+/// Timed samples per measurement; the median is reported.
+const SAMPLES: usize = 25;
+/// Iterations batched inside each timed sample.
+const ITERS: usize = 40;
+
+/// Median wall-clock nanoseconds of one `f()` call, measured over
+/// [`SAMPLES`] batches of [`ITERS`] calls each.
+fn median_ns(mut f: impl FnMut()) -> f64 {
+    for _ in 0..ITERS {
+        f(); // warm-up
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One pointwise-versus-swept comparison over a 1..=n curve.
+#[derive(Debug, Serialize)]
+struct CurveBench {
+    points: u32,
+    pointwise_ns_per_point: f64,
+    swept_ns_per_point: f64,
+    speedup: f64,
+}
+
+impl CurveBench {
+    fn new(points: u32, pointwise_ns: f64, swept_ns: f64) -> Self {
+        let per = f64::from(points);
+        CurveBench {
+            points,
+            pointwise_ns_per_point: pointwise_ns / per,
+            swept_ns_per_point: swept_ns / per,
+            speedup: pointwise_ns / swept_ns,
+        }
+    }
+}
+
+/// Cold-versus-warm Patel comparison over a demand sweep. Iteration
+/// counts are residual evaluations, deterministic for a given sweep.
+#[derive(Debug, Serialize)]
+struct PatelBench {
+    solves: u32,
+    stages: u32,
+    /// The pre-sweep-engine solver: 200 bisection steps per solve.
+    legacy_bisection_ns_per_solve: f64,
+    cold_ns_per_solve: f64,
+    warm_ns_per_solve: f64,
+    cold_iterations: u32,
+    warm_iterations: u32,
+    /// Residual evaluations saved by warm starting: `cold / warm`.
+    /// Deterministic for a given sweep, unlike the wall-clock ratio,
+    /// which at ~200 ns/solve sits inside timer noise.
+    iteration_speedup: f64,
+    wall_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    generated_by: String,
+    mva_curve: CurveBench,
+    bus_curve_dragon: CurveBench,
+    patel_rate_sweep: PatelBench,
+}
+
+fn run() -> Report {
+    let w = WorkloadParams::default();
+    let sys = BusSystemModel::new();
+
+    let mva_pointwise = median_ns(|| {
+        for n in 1..=CURVE_POINTS {
+            std::hint::black_box(machine_repairman(n, 0.37, 1.2).unwrap());
+        }
+    });
+    let mva_swept = median_ns(|| {
+        std::hint::black_box(machine_repairman_sweep(CURVE_POINTS, 0.37, 1.2).unwrap());
+    });
+
+    let bus_pointwise = median_ns(|| {
+        for n in 1..=CURVE_POINTS {
+            std::hint::black_box(analyze_bus(Scheme::Dragon, &w, &sys, n).unwrap());
+        }
+    });
+    let bus_swept = median_ns(|| {
+        std::hint::black_box(analyze_bus_sweep(Scheme::Dragon, &w, &sys, CURVE_POINTS).unwrap());
+    });
+
+    let stages = 8u32;
+    let sweep_rates = |solver: &mut WarmSolver, reset: bool| -> u32 {
+        let mut iterations = 0;
+        for i in 1..=PATEL_SOLVES {
+            if reset {
+                solver.reset();
+            }
+            std::hint::black_box(solver.solve(f64::from(i) * 0.002, 20.0, stages).unwrap());
+            iterations += solver.last_iterations();
+        }
+        iterations
+    };
+    let legacy_ns = median_ns(|| {
+        for i in 1..=PATEL_SOLVES {
+            std::hint::black_box(
+                swcc_core::network::solve(f64::from(i) * 0.002, 20.0, stages).unwrap(),
+            );
+        }
+    });
+    let cold_ns = median_ns(|| {
+        let mut solver = WarmSolver::new();
+        sweep_rates(&mut solver, true);
+    });
+    let warm_ns = median_ns(|| {
+        let mut solver = WarmSolver::new();
+        sweep_rates(&mut solver, false);
+    });
+    let mut solver = WarmSolver::new();
+    let cold_iterations = sweep_rates(&mut solver, true);
+    solver.reset();
+    let warm_iterations = sweep_rates(&mut solver, false);
+
+    Report {
+        generated_by: format!(
+            "swcc-bench {} (median of {SAMPLES} samples x {ITERS} iterations)",
+            env!("CARGO_PKG_VERSION")
+        ),
+        mva_curve: CurveBench::new(CURVE_POINTS, mva_pointwise, mva_swept),
+        bus_curve_dragon: CurveBench::new(CURVE_POINTS, bus_pointwise, bus_swept),
+        patel_rate_sweep: PatelBench {
+            solves: PATEL_SOLVES,
+            stages,
+            legacy_bisection_ns_per_solve: legacy_ns / f64::from(PATEL_SOLVES),
+            cold_ns_per_solve: cold_ns / f64::from(PATEL_SOLVES),
+            warm_ns_per_solve: warm_ns / f64::from(PATEL_SOLVES),
+            cold_iterations,
+            warm_iterations,
+            iteration_speedup: f64::from(cold_iterations) / f64::from(warm_iterations),
+            wall_speedup: cold_ns / warm_ns,
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let report = run();
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serialize benchmark report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{json}");
+    if path != "-" {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::demand::{scheme_demand, Demand};
 use crate::error::Result;
-use crate::queue::machine_repairman;
+use crate::queue::{machine_repairman, machine_repairman_sweep};
 use crate::scheme::Scheme;
 use crate::system::BusSystemModel;
 use crate::workload::WorkloadParams;
@@ -128,11 +128,68 @@ pub fn analyze_bus(
     })
 }
 
-/// Sweeps processor count from 1 to `max_processors` inclusive.
+/// Analyzes one scheme at **every** processor count `1..=max_processors`
+/// in a single O(`max_processors`) pass.
+///
+/// The per-instruction demand is computed once and the whole curve comes
+/// from one incremental MVA sweep
+/// ([`machine_repairman_sweep`]), so this is
+/// O(N) where mapping [`analyze_bus`] over the range is O(N²). Each
+/// returned point is **bit-identical** to the pointwise call at the same
+/// processor count.
 ///
 /// # Errors
 ///
-/// Propagates the first error from [`analyze_bus`] (which for valid
+/// Propagates demand/solver errors (which for valid workloads cannot
+/// occur). A `max_processors` of zero yields an empty curve.
+///
+/// # Examples
+///
+/// ```
+/// use swcc_core::bus::{analyze_bus, analyze_bus_sweep};
+/// use swcc_core::scheme::Scheme;
+/// use swcc_core::system::BusSystemModel;
+/// use swcc_core::workload::WorkloadParams;
+///
+/// # fn main() -> Result<(), swcc_core::ModelError> {
+/// let system = BusSystemModel::new();
+/// let workload = WorkloadParams::default();
+/// let curve = analyze_bus_sweep(Scheme::Dragon, &workload, &system, 64)?;
+/// let pointwise = analyze_bus(Scheme::Dragon, &workload, &system, 48)?;
+/// assert_eq!(curve[47], pointwise);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_bus_sweep(
+    scheme: Scheme,
+    workload: &WorkloadParams,
+    system: &BusSystemModel,
+    max_processors: u32,
+) -> Result<Vec<BusPerformance>> {
+    let demand = scheme_demand(scheme, workload, system)?;
+    let sweep =
+        machine_repairman_sweep(max_processors, demand.interconnect(), demand.think_time())?;
+    Ok(sweep
+        .points()
+        .iter()
+        .map(|mva| BusPerformance {
+            scheme,
+            processors: mva.customers(),
+            demand,
+            waiting: mva.waiting(),
+            bus_utilization: mva.server_utilization(),
+        })
+        .collect())
+}
+
+/// Sweeps processor count from 1 to `max_processors` inclusive.
+///
+/// Delegates to [`analyze_bus_sweep`], so the whole curve costs one
+/// incremental MVA pass instead of one solve per point.
+///
+/// # Errors
+///
+/// Propagates errors as [`analyze_bus_sweep`] does (which for valid
 /// workloads cannot occur).
 pub fn bus_power_curve(
     scheme: Scheme,
@@ -140,9 +197,7 @@ pub fn bus_power_curve(
     system: &BusSystemModel,
     max_processors: u32,
 ) -> Result<Vec<BusPerformance>> {
-    (1..=max_processors)
-        .map(|n| analyze_bus(scheme, workload, system, n))
-        .collect()
+    analyze_bus_sweep(scheme, workload, system, max_processors)
 }
 
 #[cfg(test)]
@@ -192,8 +247,10 @@ mod tests {
         let dragon = p(Scheme::Dragon);
         let sf = p(Scheme::SoftwareFlush);
         let nc = p(Scheme::NoCache);
-        assert!(base >= dragon && dragon >= sf && sf >= nc,
-            "expected Base({base:.2}) >= Dragon({dragon:.2}) >= SF({sf:.2}) >= NC({nc:.2})");
+        assert!(
+            base >= dragon && dragon >= sf && sf >= nc,
+            "expected Base({base:.2}) >= Dragon({dragon:.2}) >= SF({sf:.2}) >= NC({nc:.2})"
+        );
     }
 
     #[test]
@@ -250,6 +307,29 @@ mod tests {
     }
 
     #[test]
+    fn sweep_is_bit_identical_to_pointwise() {
+        let w = WorkloadParams::default();
+        for s in Scheme::ALL {
+            let curve = analyze_bus_sweep(s, &w, &sys(), 32).unwrap();
+            assert_eq!(curve.len(), 32);
+            for (i, swept) in curve.iter().enumerate() {
+                let n = (i + 1) as u32;
+                let pointwise = analyze_bus(s, &w, &sys(), n).unwrap();
+                // Exact equality: the sweep runs the same float ops.
+                assert_eq!(*swept, pointwise, "{s} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_of_zero_processors_is_empty() {
+        let w = WorkloadParams::default();
+        assert!(analyze_bus_sweep(Scheme::Base, &w, &sys(), 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn zero_processors_is_rejected() {
         let w = WorkloadParams::default();
         assert!(analyze_bus(Scheme::Base, &w, &sys(), 0).is_err());
@@ -259,8 +339,6 @@ mod tests {
     fn cycles_per_instruction_consistency() {
         let w = WorkloadParams::default();
         let p = analyze_bus(Scheme::Dragon, &w, &sys(), 8).unwrap();
-        assert!(
-            (p.cycles_per_instruction() - (p.demand().cpu() + p.waiting())).abs() < 1e-12
-        );
+        assert!((p.cycles_per_instruction() - (p.demand().cpu() + p.waiting())).abs() < 1e-12);
     }
 }

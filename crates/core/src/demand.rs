@@ -79,12 +79,10 @@ pub fn demand<M: CostModel>(mix: &OperationMix, system: &M) -> Result<Demand> {
     let mut cpu = 0.0;
     let mut interconnect = 0.0;
     for (op, freq) in mix.iter() {
-        let cost = system
-            .cost(op)
-            .ok_or(ModelError::UnsupportedOperation {
-                operation: op,
-                model: system.model_name(),
-            })?;
+        let cost = system.cost(op).ok_or(ModelError::UnsupportedOperation {
+            operation: op,
+            model: system.model_name(),
+        })?;
         cpu += freq * f64::from(cost.cpu());
         interconnect += freq * f64::from(cost.interconnect());
     }
@@ -131,8 +129,11 @@ mod tests {
             for s in Scheme::ALL {
                 let d = scheme_demand(s, &w, &sys).unwrap();
                 assert!(d.cpu() > d.interconnect(), "{s} at {level}");
-                assert!(d.think_time() >= 1.0, "{s} at {level}: every instruction \
-                     contributes at least its own execution cycle off the bus");
+                assert!(
+                    d.think_time() >= 1.0,
+                    "{s} at {level}: every instruction \
+                     contributes at least its own execution cycle off the bus"
+                );
             }
         }
     }
@@ -172,12 +173,17 @@ mod tests {
         // §5.1: "If shd = 0 the schemes are identical" (up to Dragon's
         // unshared stores, which cost nothing extra).
         let sys = BusSystemModel::new();
-        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Shd, 0.0)
+            .unwrap();
         let base = scheme_demand(Scheme::Base, &w, &sys).unwrap();
         for s in Scheme::ALL {
             let d = scheme_demand(s, &w, &sys).unwrap();
             assert!((d.cpu() - base.cpu()).abs() < 1e-12, "{s}");
-            assert!((d.interconnect() - base.interconnect()).abs() < 1e-12, "{s}");
+            assert!(
+                (d.interconnect() - base.interconnect()).abs() < 1e-12,
+                "{s}"
+            );
         }
     }
 

@@ -57,7 +57,10 @@ pub fn directory_mix(w: &WorkloadParams) -> OperationMix {
         Operation::CleanMiss(MissSource::Memory),
         unshared_miss * (1.0 - w.md()) + coherence_miss,
     );
-    m.push(Operation::DirtyMiss(MissSource::Memory), unshared_miss * w.md());
+    m.push(
+        Operation::DirtyMiss(MissSource::Memory),
+        unshared_miss * w.md(),
+    );
     m.push(Operation::WriteThrough, ownership);
     m
 }
@@ -178,7 +181,9 @@ mod tests {
         // uncached throughs.
         let w = WorkloadParams::default();
         let dir = analyze_directory(&w, 8).unwrap().power();
-        let sf = analyze_network(Scheme::SoftwareFlush, &w, 8).unwrap().power();
+        let sf = analyze_network(Scheme::SoftwareFlush, &w, 8)
+            .unwrap()
+            .power();
         let nc = analyze_network(Scheme::NoCache, &w, 8).unwrap().power();
         assert!(dir > sf, "dir {dir:.1} vs sf {sf:.1}");
         assert!(dir > nc, "dir {dir:.1} vs nc {nc:.1}");
@@ -191,9 +196,15 @@ mod tests {
         // directory schemes."
         let low = WorkloadParams::at_level(Level::Low);
         let dir = analyze_directory(&low, 8).unwrap().power();
-        let sf = analyze_network(Scheme::SoftwareFlush, &low, 8).unwrap().power();
+        let sf = analyze_network(Scheme::SoftwareFlush, &low, 8)
+            .unwrap()
+            .power();
         let gap = (dir - sf).abs() / dir;
-        assert!(gap < 0.10, "gap {:.1}% between SF-low and directory", gap * 100.0);
+        assert!(
+            gap < 0.10,
+            "gap {:.1}% between SF-low and directory",
+            gap * 100.0
+        );
     }
 
     #[test]
@@ -202,7 +213,10 @@ mod tests {
             let w = WorkloadParams::at_level(level);
             let dir = analyze_directory(&w, 8).unwrap().power();
             let base = analyze_network(Scheme::Base, &w, 8).unwrap().power();
-            assert!(dir <= base + 1e-9, "{level}: dir {dir:.1} vs base {base:.1}");
+            assert!(
+                dir <= base + 1e-9,
+                "{level}: dir {dir:.1} vs base {base:.1}"
+            );
         }
     }
 

@@ -73,13 +73,19 @@ impl fmt::Display for ModelError {
                 write!(f, "invalid workload parameter {name} = {value}: {reason}")
             }
             ModelError::UnsupportedOperation { operation, model } => {
-                write!(f, "operation {operation} is not costed by the {model} system model")
+                write!(
+                    f,
+                    "operation {operation} is not costed by the {model} system model"
+                )
             }
             ModelError::UnsupportedScheme {
                 scheme,
                 interconnect,
             } => {
-                write!(f, "scheme {scheme} cannot run on a {interconnect} interconnect")
+                write!(
+                    f,
+                    "scheme {scheme} cannot run on a {interconnect} interconnect"
+                )
             }
             ModelError::InvalidConfig { name, reason } => {
                 write!(f, "invalid configuration {name}: {reason}")

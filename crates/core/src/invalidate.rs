@@ -71,7 +71,10 @@ pub fn invalidate_mix(w: &WorkloadParams) -> OperationMix {
         mem_miss * (1.0 - w.md()) + coherence,
     );
     m.push(Operation::DirtyMiss(MissSource::Memory), mem_miss * w.md());
-    m.push(Operation::CleanMiss(MissSource::Cache), cache_miss * (1.0 - w.md()));
+    m.push(
+        Operation::CleanMiss(MissSource::Cache),
+        cache_miss * (1.0 - w.md()),
+    );
     m.push(Operation::DirtyMiss(MissSource::Cache), cache_miss * w.md());
     m.push(Operation::WriteBroadcast, upgrade);
     m.push(Operation::CycleSteal, upgrade * w.nshd());
@@ -187,8 +190,7 @@ mod tests {
         let from_cache = 0.25 * 0.16;
         let mem_miss = 0.3 * 0.014 * (1.0 - from_cache) + 0.0022;
         assert!(
-            (m.freq(Operation::CleanMiss(MissSource::Memory)) - (mem_miss * 0.8 + coherence))
-                .abs()
+            (m.freq(Operation::CleanMiss(MissSource::Memory)) - (mem_miss * 0.8 + coherence)).abs()
                 < 1e-12
         );
     }
@@ -197,10 +199,15 @@ mod tests {
     fn update_wins_fine_grained_sharing() {
         // apl = 1: every shared reference re-misses under invalidation;
         // Dragon just broadcasts one word.
-        let w = WorkloadParams::default().with_param(ParamId::Apl, 1.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Apl, 1.0)
+            .unwrap();
         let mesi = bus_performance_invalidate(&w, &sys(), 16).unwrap().power();
         let dragon = analyze_bus(Scheme::Dragon, &w, &sys(), 16).unwrap().power();
-        assert!(dragon > mesi, "dragon {dragon:.2} vs mesi {mesi:.2} at apl=1");
+        assert!(
+            dragon > mesi,
+            "dragon {dragon:.2} vs mesi {mesi:.2} at apl=1"
+        );
     }
 
     #[test]
@@ -214,7 +221,10 @@ mod tests {
             .unwrap();
         let mesi = bus_performance_invalidate(&w, &sys(), 16).unwrap().power();
         let dragon = analyze_bus(Scheme::Dragon, &w, &sys(), 16).unwrap().power();
-        assert!(mesi > dragon, "mesi {mesi:.2} vs dragon {dragon:.2} at apl=50");
+        assert!(
+            mesi > dragon,
+            "mesi {mesi:.2} vs dragon {dragon:.2} at apl=50"
+        );
     }
 
     #[test]
@@ -229,7 +239,9 @@ mod tests {
 
     #[test]
     fn no_sharing_reduces_to_base() {
-        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Shd, 0.0)
+            .unwrap();
         let mesi = bus_performance_invalidate(&w, &sys(), 8).unwrap();
         let base = analyze_bus(Scheme::Base, &w, &sys(), 8).unwrap();
         assert!((mesi.power() - base.power()).abs() < 1e-9);

@@ -83,9 +83,12 @@ pub use error::{ModelError, Result};
 /// let _ = WorkloadParams::default();
 /// ```
 pub mod prelude {
-    pub use crate::bus::{analyze_bus, bus_power_curve, BusPerformance};
+    pub use crate::bus::{analyze_bus, analyze_bus_sweep, bus_power_curve, BusPerformance};
     pub use crate::demand::{demand, scheme_demand, Demand};
-    pub use crate::network::{analyze_network, network_power_curve, NetworkPerformance};
+    pub use crate::network::{
+        analyze_network, network_power_curve, NetworkPerformance, WarmSolver,
+    };
+    pub use crate::queue::{machine_repairman, machine_repairman_sweep, MvaSolution, MvaSweep};
     pub use crate::scheme::{OperationMix, Scheme};
     pub use crate::sensitivity::{sensitivity_table, SensitivityTable};
     pub use crate::system::{

@@ -11,7 +11,9 @@ pub mod packet;
 pub mod patel;
 
 pub use packet::{analyze_network_packet, PacketPerformance};
-pub use patel::{propagate, solve, OperatingPoint};
+pub use patel::{
+    propagate, solve, solve_with, OperatingPoint, SolveOptions, WarmSolver, DEFAULT_TOLERANCE,
+};
 
 use std::fmt;
 
@@ -137,16 +139,42 @@ pub fn analyze_network(
 /// Sweeps stage count from 0 to `max_stages` (1 to `2^max_stages`
 /// processors).
 ///
+/// Consecutive stage counts have nearby fixed points, so the sweep
+/// solves them with one [`WarmSolver`]: each point's `U` seeds the next
+/// point's bisection bracket. Results agree with pointwise
+/// [`analyze_network`] to within the solver tolerance
+/// ([`DEFAULT_TOLERANCE`]).
+///
 /// # Errors
 ///
-/// Propagates errors from [`analyze_network`].
+/// As [`analyze_network`]: [`ModelError::UnsupportedScheme`] for
+/// [`Scheme::Dragon`], plus solver errors (which cannot occur for valid
+/// workloads).
 pub fn network_power_curve(
     scheme: Scheme,
     workload: &WorkloadParams,
     max_stages: u32,
 ) -> Result<Vec<NetworkPerformance>> {
+    if scheme.requires_bus() {
+        return Err(ModelError::UnsupportedScheme {
+            scheme,
+            interconnect: "multistage network",
+        });
+    }
+    let mut solver = patel::WarmSolver::new();
     (0..=max_stages)
-        .map(|s| analyze_network(scheme, workload, s))
+        .map(|stages| {
+            let system = NetworkSystemModel::new(stages);
+            let demand = scheme_demand(scheme, workload, &system)?;
+            let point =
+                solver.solve(demand.transaction_rate(), demand.transaction_size(), stages)?;
+            Ok(NetworkPerformance {
+                scheme,
+                stages,
+                demand,
+                point,
+            })
+        })
         .collect()
 }
 
@@ -175,6 +203,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn warm_curve_matches_pointwise_within_tolerance() {
+        let w = WorkloadParams::at_level(Level::Middle);
+        for s in [Scheme::Base, Scheme::NoCache, Scheme::SoftwareFlush] {
+            let curve = network_power_curve(s, &w, 10).unwrap();
+            assert_eq!(curve.len(), 11);
+            for (stages, swept) in curve.iter().enumerate() {
+                let pointwise = analyze_network(s, &w, stages as u32).unwrap();
+                let du = (swept.operating_point().think_fraction()
+                    - pointwise.operating_point().think_fraction())
+                .abs();
+                assert!(du < 1e-9, "{s} at {stages} stages: ΔU = {du:e}");
+                assert_eq!(swept.demand(), pointwise.demand());
+            }
+        }
+    }
+
+    #[test]
+    fn curve_rejects_dragon() {
+        let w = WorkloadParams::default();
+        assert!(matches!(
+            network_power_curve(Scheme::Dragon, &w, 4).unwrap_err(),
+            ModelError::UnsupportedScheme { .. }
+        ));
     }
 
     #[test]

@@ -152,8 +152,8 @@ pub fn analyze_network_packet(
         });
     }
     // Mean payload cycles per transaction (Table 9 time minus 2n).
-    let payload = (demand.interconnect() - transactions * round_trip).max(1.0 * transactions)
-        / transactions;
+    let payload =
+        (demand.interconnect() - transactions * round_trip).max(1.0 * transactions) / transactions;
     // Local (non-network) processor time per instruction.
     let think = demand.cpu() - demand.interconnect();
     let n = f64::from(stages);
@@ -214,7 +214,10 @@ mod tests {
             let w = WorkloadParams::at_level(level);
             for s in [Scheme::Base, Scheme::NoCache, Scheme::SoftwareFlush] {
                 let p = analyze_network_packet(s, &w, 8).unwrap();
-                assert!(p.utilization() > 0.0 && p.utilization() <= 1.0, "{s}@{level}");
+                assert!(
+                    p.utilization() > 0.0 && p.utilization() <= 1.0,
+                    "{s}@{level}"
+                );
                 assert!(p.latency() >= 8.0, "{s}@{level}: latency {}", p.latency());
             }
         }
@@ -226,8 +229,12 @@ mod tests {
         // Software-Flush improves under packet switching.
         let w = WorkloadParams::default();
         let circuit_nc = analyze_network(Scheme::NoCache, &w, 8).unwrap().power();
-        let circuit_sf = analyze_network(Scheme::SoftwareFlush, &w, 8).unwrap().power();
-        let packet_nc = analyze_network_packet(Scheme::NoCache, &w, 8).unwrap().power();
+        let circuit_sf = analyze_network(Scheme::SoftwareFlush, &w, 8)
+            .unwrap()
+            .power();
+        let packet_nc = analyze_network_packet(Scheme::NoCache, &w, 8)
+            .unwrap()
+            .power();
         let packet_sf = analyze_network_packet(Scheme::SoftwareFlush, &w, 8)
             .unwrap()
             .power();
@@ -263,7 +270,9 @@ mod tests {
 
     #[test]
     fn no_sharing_runs_at_base_speed() {
-        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Shd, 0.0)
+            .unwrap();
         let base = analyze_network_packet(Scheme::Base, &w, 8).unwrap();
         let nc = analyze_network_packet(Scheme::NoCache, &w, 8).unwrap();
         assert!((base.power() - nc.power()).abs() < 1e-9);

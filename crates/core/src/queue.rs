@@ -168,6 +168,140 @@ pub fn machine_repairman(customers: u32, service: f64, think: f64) -> Result<Mva
     })
 }
 
+/// Machine-repairman solutions for every population `1..=max`, computed
+/// in a single O(max) MVA pass.
+///
+/// Exact MVA for population `n` iterates the recurrence from `k = 1`;
+/// every intermediate `k` *is* the exact solution for a `k`-customer
+/// system, so one pass yields the whole curve. The per-point results are
+/// **bit-identical** to calling [`machine_repairman`] at each population
+/// (the same floating-point operations run in the same order) — the
+/// sweep just skips the `O(n²)` rework of restarting the recurrence at
+/// every point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MvaSweep {
+    service: f64,
+    think: f64,
+    points: Vec<MvaSolution>,
+}
+
+impl MvaSweep {
+    /// Mean service time `b` the sweep was run with.
+    pub fn service(&self) -> f64 {
+        self.service
+    }
+
+    /// Mean think time `Z` the sweep was run with.
+    pub fn think(&self) -> f64 {
+        self.think
+    }
+
+    /// Largest population in the sweep (`0` for an empty sweep).
+    pub fn max_customers(&self) -> u32 {
+        self.points.len() as u32
+    }
+
+    /// All solutions, ordered by population `1, 2, …`.
+    pub fn points(&self) -> &[MvaSolution] {
+        &self.points
+    }
+
+    /// The solution for one population, or `None` if out of range.
+    pub fn get(&self, customers: u32) -> Option<&MvaSolution> {
+        customers
+            .checked_sub(1)
+            .and_then(|i| self.points.get(i as usize))
+    }
+
+    /// Consumes the sweep, returning the solutions.
+    pub fn into_points(self) -> Vec<MvaSolution> {
+        self.points
+    }
+}
+
+/// Solves the machine-repairman model for **all** populations
+/// `1..=max_customers` in one O(`max_customers`) pass.
+///
+/// Each returned point is bit-identical to
+/// `machine_repairman(k, service, think)` — see [`MvaSweep`]. A
+/// `max_customers` of zero yields an empty (but valid) sweep.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] under the same parameter
+/// conditions as [`machine_repairman`] (negative or non-finite times,
+/// both times zero).
+///
+/// # Examples
+///
+/// ```
+/// use swcc_core::queue::{machine_repairman, machine_repairman_sweep};
+///
+/// # fn main() -> Result<(), swcc_core::ModelError> {
+/// let sweep = machine_repairman_sweep(64, 0.37, 1.2)?;
+/// let pointwise = machine_repairman(48, 0.37, 1.2)?;
+/// assert_eq!(sweep.get(48), Some(&pointwise));
+/// # Ok(())
+/// # }
+/// ```
+pub fn machine_repairman_sweep(max_customers: u32, service: f64, think: f64) -> Result<MvaSweep> {
+    if !service.is_finite() || service < 0.0 {
+        return Err(ModelError::InvalidConfig {
+            name: "service",
+            reason: "must be finite and non-negative",
+        });
+    }
+    if !think.is_finite() || think < 0.0 {
+        return Err(ModelError::InvalidConfig {
+            name: "think",
+            reason: "must be finite and non-negative",
+        });
+    }
+    if service == 0.0 && think == 0.0 {
+        return Err(ModelError::InvalidConfig {
+            name: "service+think",
+            reason: "service and think time cannot both be zero",
+        });
+    }
+    let mut points = Vec::with_capacity(max_customers as usize);
+    if service == 0.0 {
+        for k in 1..=max_customers {
+            points.push(MvaSolution {
+                customers: k,
+                service,
+                think,
+                response: 0.0,
+                throughput: f64::from(k) / think,
+                queue_len: 0.0,
+            });
+        }
+        return Ok(MvaSweep {
+            service,
+            think,
+            points,
+        });
+    }
+    let mut queue_len = 0.0;
+    for k in 1..=max_customers {
+        let response = service * (1.0 + queue_len);
+        let throughput = f64::from(k) / (think + response);
+        queue_len = throughput * response;
+        points.push(MvaSolution {
+            customers: k,
+            service,
+            think,
+            response,
+            throughput,
+            queue_len,
+        });
+    }
+    Ok(MvaSweep {
+        service,
+        think,
+        points,
+    })
+}
+
 /// Asymptotic bounds on the machine-repairman model (operational
 /// analysis): `X(n) ≤ min(n/(Z + b), 1/b)`.
 ///
@@ -338,6 +472,45 @@ mod tests {
     fn bounds_reject_bad_inputs() {
         assert!(AsymptoticBounds::new(-1.0, 1.0).is_err());
         assert!(AsymptoticBounds::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_to_pointwise() {
+        let sweep = machine_repairman_sweep(64, 0.37, 1.2).unwrap();
+        assert_eq!(sweep.max_customers(), 64);
+        for k in 1..=64u32 {
+            let pointwise = machine_repairman(k, 0.37, 1.2).unwrap();
+            let swept = sweep.get(k).unwrap();
+            // Exact equality, not tolerance: same op sequence.
+            assert_eq!(*swept, pointwise, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_zero_service() {
+        let sweep = machine_repairman_sweep(8, 0.0, 5.0).unwrap();
+        for k in 1..=8u32 {
+            assert_eq!(
+                *sweep.get(k).unwrap(),
+                machine_repairman(k, 0.0, 5.0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_valid() {
+        let sweep = machine_repairman_sweep(0, 1.0, 1.0).unwrap();
+        assert_eq!(sweep.max_customers(), 0);
+        assert!(sweep.points().is_empty());
+        assert!(sweep.get(1).is_none());
+        assert!(sweep.get(0).is_none());
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        assert!(machine_repairman_sweep(4, -1.0, 1.0).is_err());
+        assert!(machine_repairman_sweep(4, 1.0, f64::NAN).is_err());
+        assert!(machine_repairman_sweep(4, 0.0, 0.0).is_err());
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub fn mix(w: &WorkloadParams) -> OperationMix {
     let miss = w.ls() * w.msdat() + w.mains();
     let mut m = OperationMix::new();
     m.push(Operation::Instruction, 1.0);
-    m.push(Operation::CleanMiss(MissSource::Memory), miss * (1.0 - w.md()));
+    m.push(
+        Operation::CleanMiss(MissSource::Memory),
+        miss * (1.0 - w.md()),
+    );
     m.push(Operation::DirtyMiss(MissSource::Memory), miss * w.md());
     m
 }
@@ -51,9 +54,7 @@ mod tests {
     #[test]
     fn base_ignores_sharing_parameters() {
         let w = WorkloadParams::default();
-        let hi = w
-            .with_param(crate::workload::ParamId::Shd, 0.9)
-            .unwrap();
+        let hi = w.with_param(crate::workload::ParamId::Shd, 0.9).unwrap();
         assert_eq!(mix(&w), mix(&hi));
     }
 

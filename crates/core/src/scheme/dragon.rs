@@ -63,10 +63,16 @@ pub fn mix_with_terms(w: &WorkloadParams, terms: DragonTerms) -> OperationMix {
     let broadcast = w.ls() * w.shd() * w.wr() * w.opres();
     let mut m = OperationMix::new();
     m.push(Operation::Instruction, 1.0);
-    m.push(Operation::CleanMiss(MissSource::Memory), mem_miss * (1.0 - w.md()));
+    m.push(
+        Operation::CleanMiss(MissSource::Memory),
+        mem_miss * (1.0 - w.md()),
+    );
     m.push(Operation::DirtyMiss(MissSource::Memory), mem_miss * w.md());
     m.push(Operation::WriteBroadcast, broadcast);
-    m.push(Operation::CleanMiss(MissSource::Cache), cache_miss * (1.0 - w.md()));
+    m.push(
+        Operation::CleanMiss(MissSource::Cache),
+        cache_miss * (1.0 - w.md()),
+    );
     m.push(Operation::DirtyMiss(MissSource::Cache), cache_miss * w.md());
     if terms.cycle_stealing {
         m.push(Operation::CycleSteal, broadcast * w.nshd());
@@ -114,14 +120,20 @@ mod tests {
 
     #[test]
     fn no_sharing_reduces_to_base() {
-        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Shd, 0.0)
+            .unwrap();
         assert_eq!(mix(&w), crate::scheme::base::mix(&w));
     }
 
     #[test]
     fn cycle_steals_scale_with_nshd() {
-        let w1 = WorkloadParams::default().with_param(ParamId::Nshd, 1.0).unwrap();
-        let w7 = WorkloadParams::default().with_param(ParamId::Nshd, 7.0).unwrap();
+        let w1 = WorkloadParams::default()
+            .with_param(ParamId::Nshd, 1.0)
+            .unwrap();
+        let w7 = WorkloadParams::default()
+            .with_param(ParamId::Nshd, 7.0)
+            .unwrap();
         let s1 = mix(&w1).freq(Operation::CycleSteal);
         let s7 = mix(&w7).freq(Operation::CycleSteal);
         assert!((s7 - 7.0 * s1).abs() < 1e-12);

@@ -16,7 +16,10 @@ pub fn mix(w: &WorkloadParams) -> OperationMix {
     let miss = w.ls() * w.msdat() * (1.0 - w.shd()) + w.mains();
     let mut m = OperationMix::new();
     m.push(Operation::Instruction, 1.0);
-    m.push(Operation::CleanMiss(MissSource::Memory), miss * (1.0 - w.md()));
+    m.push(
+        Operation::CleanMiss(MissSource::Memory),
+        miss * (1.0 - w.md()),
+    );
     m.push(Operation::DirtyMiss(MissSource::Memory), miss * w.md());
     m.push(Operation::ReadThrough, w.ls() * w.shd() * (1.0 - w.wr()));
     m.push(Operation::WriteThrough, w.ls() * w.shd() * w.wr());
@@ -54,13 +57,17 @@ mod tests {
 
     #[test]
     fn no_sharing_reduces_to_base() {
-        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Shd, 0.0)
+            .unwrap();
         assert_eq!(mix(&w), crate::scheme::base::mix(&w));
     }
 
     #[test]
     fn full_sharing_eliminates_data_misses() {
-        let w = WorkloadParams::default().with_param(ParamId::Shd, 1.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Shd, 1.0)
+            .unwrap();
         let m = mix(&w);
         // Only instruction misses remain.
         let total_miss = m.freq(Operation::CleanMiss(MissSource::Memory))

@@ -65,8 +65,7 @@ mod tests {
         let imiss = 0.0022 * (1.0 + flush);
         let miss = 0.3 * 0.014 * 0.75 + imiss;
         assert!(
-            (m.freq(Operation::CleanMiss(MissSource::Memory)) - (miss * 0.8 + flush)).abs()
-                < 1e-12
+            (m.freq(Operation::CleanMiss(MissSource::Memory)) - (miss * 0.8 + flush)).abs() < 1e-12
         );
         assert!((m.freq(Operation::DirtyMiss(MissSource::Memory)) - miss * 0.2).abs() < 1e-12);
         assert!((m.freq(Operation::CleanFlush) - flush * 0.75).abs() < 1e-12);
@@ -85,7 +84,9 @@ mod tests {
 
     #[test]
     fn no_sharing_reduces_to_base() {
-        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Shd, 0.0)
+            .unwrap();
         assert_eq!(mix(&w), crate::scheme::base::mix(&w));
     }
 
@@ -96,7 +97,9 @@ mod tests {
         // still caches shared data, so apl→∞ approaches Base *minus*
         // shared-data misses (the model books shared-data misses only via
         // the per-flush re-fetch term).
-        let w = WorkloadParams::default().with_param(ParamId::Apl, 1e9).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Apl, 1e9)
+            .unwrap();
         let m = mix(&w);
         assert!(m.freq(Operation::CleanFlush) < 1e-9);
         assert!(m.freq(Operation::DirtyFlush) < 1e-9);
@@ -108,7 +111,9 @@ mod tests {
         // miss, heavier in both CPU and bus than No-Cache's throughs.
         use crate::demand::demand;
         use crate::system::BusSystemModel;
-        let w = WorkloadParams::default().with_param(ParamId::Apl, 1.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Apl, 1.0)
+            .unwrap();
         let sys = BusSystemModel::new();
         let sf = demand(&mix(&w), &sys).unwrap();
         let nc = demand(&crate::scheme::no_cache::mix(&w), &sys).unwrap();

@@ -15,8 +15,9 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::bus::analyze_bus;
+use crate::demand::{scheme_demand, Demand};
 use crate::error::Result;
+use crate::queue::machine_repairman;
 use crate::scheme::Scheme;
 use crate::system::BusSystemModel;
 use crate::workload::{Level, ParamId, WorkloadParams, TABLE7_RANGES};
@@ -88,11 +89,7 @@ impl SensitivityTable {
             .filter(|c| c.scheme == scheme)
             .map(|c| (c.param, c.percent_change()))
             .collect();
-        v.sort_by(|a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .expect("percent changes are finite")
-        });
+        v.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
         v
     }
 }
@@ -133,7 +130,56 @@ pub fn sensitivity_table_at(
     processors: u32,
     operating_point: &WorkloadParams,
 ) -> Result<SensitivityTable> {
-    let system = BusSystemModel::new();
+    let mut cache = CpiCache::new(processors);
+    sensitivity_table_cached(operating_point, &mut cache)
+}
+
+/// Memoized execution-time evaluation keyed on the per-instruction
+/// demand.
+///
+/// `analyze_bus` depends on the workload only through the demand
+/// `(c, b)`, and many of the 11 × 2 × 4 parameter variations leave a
+/// scheme's demand unchanged (e.g. `apl` touches no scheme but
+/// Software-Flush, and Base ignores every sharing parameter). Hashing
+/// `f64`s is fraught, so the cache is a linear scan over at most a few
+/// dozen `(Scheme, Demand)` keys — cheap next to an MVA solve.
+struct CpiCache {
+    processors: u32,
+    system: BusSystemModel,
+    entries: Vec<(Scheme, Demand, f64)>,
+}
+
+impl CpiCache {
+    fn new(processors: u32) -> Self {
+        CpiCache {
+            processors,
+            system: BusSystemModel::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Execution time `c + w` for one scheme/workload, reusing any prior
+    /// result computed at the same demand.
+    fn cycles_per_instruction(&mut self, scheme: Scheme, workload: &WorkloadParams) -> Result<f64> {
+        let demand = scheme_demand(scheme, workload, &self.system)?;
+        if let Some(&(_, _, time)) = self
+            .entries
+            .iter()
+            .find(|(s, d, _)| *s == scheme && *d == demand)
+        {
+            return Ok(time);
+        }
+        let mva = machine_repairman(self.processors, demand.interconnect(), demand.think_time())?;
+        let time = demand.cpu() + mva.waiting();
+        self.entries.push((scheme, demand, time));
+        Ok(time)
+    }
+}
+
+fn sensitivity_table_cached(
+    operating_point: &WorkloadParams,
+    cache: &mut CpiCache,
+) -> Result<SensitivityTable> {
     let mut cells = Vec::with_capacity(ParamId::ALL.len() * Scheme::ALL.len());
     for param in ParamId::ALL {
         let range = TABLE7_RANGES.range(param);
@@ -144,18 +190,18 @@ pub fn sensitivity_table_at(
             .with_param(param, range.high)
             .expect("Table 7 high values are in-domain");
         for scheme in Scheme::ALL {
-            let t_low = analyze_bus(scheme, &low, &system, processors)?.cycles_per_instruction();
-            let t_high =
-                analyze_bus(scheme, &high, &system, processors)?.cycles_per_instruction();
             cells.push(SensitivityCell {
                 param,
                 scheme,
-                time_low: t_low,
-                time_high: t_high,
+                time_low: cache.cycles_per_instruction(scheme, &low)?,
+                time_high: cache.cycles_per_instruction(scheme, &high)?,
             });
         }
     }
-    Ok(SensitivityTable { processors, cells })
+    Ok(SensitivityTable {
+        processors: cache.processors,
+        cells,
+    })
 }
 
 /// The paper's §4 caveat operationalized: each parameter's effect is
@@ -168,12 +214,16 @@ pub fn sensitivity_table_at(
 ///
 /// Propagates [`crate::ModelError::InvalidConfig`] if `processors == 0`.
 pub fn sensitivity_table_averaged(processors: u32) -> Result<SensitivityTable> {
+    // One cache across all three miss-rate levels: variations that leave
+    // a scheme's demand unchanged (most of them, for Base) are solved
+    // once for the whole average.
+    let mut cache = CpiCache::new(processors);
     let mut tables = Vec::new();
     for level in Level::ALL {
         let op = WorkloadParams::default()
             .with_param(ParamId::Msdat, TABLE7_RANGES.value(ParamId::Msdat, level))
             .expect("Table 7 values are in-domain");
-        tables.push(sensitivity_table_at(processors, &op)?);
+        tables.push(sensitivity_table_cached(&op, &mut cache)?);
     }
     // Average the percent changes by averaging times (same denominator
     // structure: keep the low/high times averaged across tables).
@@ -256,7 +306,11 @@ mod tests {
         let t = sensitivity_table(1).unwrap();
         for s in Scheme::ALL {
             let c = t.cell(ParamId::Wr, s).unwrap();
-            assert!(c.percent_change().abs() < 10.0, "{s}: {}", c.percent_change());
+            assert!(
+                c.percent_change().abs() < 10.0,
+                "{s}: {}",
+                c.percent_change()
+            );
         }
     }
 
@@ -282,8 +336,14 @@ mod tests {
         // §4: "In the Dragon scheme, the overall hit rate is more
         // important than the level of sharing."
         let t = table();
-        let miss = t.cell(ParamId::Msdat, Scheme::Dragon).unwrap().percent_change();
-        let shd = t.cell(ParamId::Shd, Scheme::Dragon).unwrap().percent_change();
+        let miss = t
+            .cell(ParamId::Msdat, Scheme::Dragon)
+            .unwrap()
+            .percent_change();
+        let shd = t
+            .cell(ParamId::Shd, Scheme::Dragon)
+            .unwrap()
+            .percent_change();
         assert!(miss.abs() > shd.abs(), "msdat {miss:.1}% vs shd {shd:.1}%");
     }
 
@@ -292,8 +352,14 @@ mod tests {
         // The paper's headline: software schemes' performance varies far
         // more with shd than Dragon's.
         let t = table();
-        let d = t.cell(ParamId::Shd, Scheme::Dragon).unwrap().percent_change();
-        let n = t.cell(ParamId::Shd, Scheme::NoCache).unwrap().percent_change();
+        let d = t
+            .cell(ParamId::Shd, Scheme::Dragon)
+            .unwrap()
+            .percent_change();
+        let n = t
+            .cell(ParamId::Shd, Scheme::NoCache)
+            .unwrap()
+            .percent_change();
         let s = t
             .cell(ParamId::Shd, Scheme::SoftwareFlush)
             .unwrap()
@@ -305,7 +371,14 @@ mod tests {
     #[test]
     fn base_ignores_sharing_parameters() {
         let t = table();
-        for p in [ParamId::Shd, ParamId::Wr, ParamId::Mdshd, ParamId::Oclean, ParamId::Opres, ParamId::Nshd] {
+        for p in [
+            ParamId::Shd,
+            ParamId::Wr,
+            ParamId::Mdshd,
+            ParamId::Oclean,
+            ParamId::Opres,
+            ParamId::Nshd,
+        ] {
             let c = t.cell(p, Scheme::Base).unwrap();
             assert!(c.percent_change().abs() < 1e-9, "{p}");
         }
@@ -348,8 +421,14 @@ mod tests {
             .unwrap();
         let at_low = sensitivity_table_at(16, &low_op).unwrap();
         let at_high = sensitivity_table_at(16, &high_op).unwrap();
-        let md_low = at_low.cell(ParamId::Md, Scheme::Base).unwrap().percent_change();
-        let md_high = at_high.cell(ParamId::Md, Scheme::Base).unwrap().percent_change();
+        let md_low = at_low
+            .cell(ParamId::Md, Scheme::Base)
+            .unwrap()
+            .percent_change();
+        let md_high = at_high
+            .cell(ParamId::Md, Scheme::Base)
+            .unwrap()
+            .percent_change();
         assert!(
             md_high > md_low,
             "md matters more when misses are frequent: {md_low:.2}% vs {md_high:.2}%"
@@ -376,13 +455,35 @@ mod tests {
             (2.0..35.0).contains(&mdshd_effect),
             "mdshd 0→1 effect should be small but noticeable, got {mdshd_effect:.1}%"
         );
-        let wr_effect = (time(ParamId::Wr, 1.0) - time(ParamId::Wr, 0.0))
-            / time(ParamId::Wr, 0.0)
-            * 100.0;
+        let wr_effect =
+            (time(ParamId::Wr, 1.0) - time(ParamId::Wr, 0.0)) / time(ParamId::Wr, 0.0) * 100.0;
         assert!(
             wr_effect.abs() < mdshd_effect.abs(),
             "wr ({wr_effect:.1}%) must matter less than mdshd ({mdshd_effect:.1}%) for SF"
         );
+    }
+
+    #[test]
+    fn memoized_table_matches_direct_analyze_bus() {
+        // The demand-keyed cache must be a pure optimization: every cell
+        // equals what a fresh analyze_bus call computes, bitwise.
+        use crate::bus::analyze_bus;
+        let t = table();
+        let sys = BusSystemModel::new();
+        let base = WorkloadParams::at_level(Level::Middle);
+        for c in t.cells() {
+            let range = TABLE7_RANGES.range(c.param);
+            let low = base.with_param(c.param, range.low).unwrap();
+            let high = base.with_param(c.param, range.high).unwrap();
+            let t_low = analyze_bus(c.scheme, &low, &sys, 16)
+                .unwrap()
+                .cycles_per_instruction();
+            let t_high = analyze_bus(c.scheme, &high, &sys, 16)
+                .unwrap()
+                .cycles_per_instruction();
+            assert_eq!(c.time_low, t_low, "{}/{} low", c.param, c.scheme);
+            assert_eq!(c.time_high, t_high, "{}/{} high", c.param, c.scheme);
+        }
     }
 
     #[test]

@@ -124,7 +124,13 @@ impl fmt::Display for BusSystemModel {
         writeln!(f, "{:<22} {:>4} {:>4}", "operation", "cpu", "bus")?;
         for op in Operation::ALL {
             let c = self.costs[op.index()];
-            writeln!(f, "{:<22} {:>4} {:>4}", op.name(), c.cpu(), c.interconnect())?;
+            writeln!(
+                f,
+                "{:<22} {:>4} {:>4}",
+                op.name(),
+                c.cpu(),
+                c.interconnect()
+            )?;
         }
         Ok(())
     }
@@ -188,7 +194,10 @@ mod tests {
 
     #[test]
     fn from_hardware_reproduces_table1() {
-        assert_eq!(BusSystemModel::from_hardware(4, 2, 3), BusSystemModel::new());
+        assert_eq!(
+            BusSystemModel::from_hardware(4, 2, 3),
+            BusSystemModel::new()
+        );
     }
 
     #[test]
@@ -198,10 +207,7 @@ mod tests {
         let m = b.build();
         assert_eq!(m.cost(Operation::WriteThrough).unwrap(), OpCost::new(4, 3));
         // Others untouched.
-        assert_eq!(
-            m.cost(Operation::ReadThrough).unwrap(),
-            OpCost::new(5, 4)
-        );
+        assert_eq!(m.cost(Operation::ReadThrough).unwrap(), OpCost::new(5, 4));
     }
 
     #[test]

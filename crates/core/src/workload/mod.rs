@@ -197,11 +197,11 @@ impl Default for WorkloadParams {
     }
 }
 
-impl<'de> Deserialize<'de> for WorkloadParams {
-    fn deserialize<D>(deserializer: D) -> std::result::Result<Self, D::Error>
-    where
-        D: serde::Deserializer<'de>,
-    {
+impl Deserialize for WorkloadParams {
+    /// Deserializes through the builder so workload invariants
+    /// (probability domains, `shd > 0` when needed, ...) are re-checked
+    /// on every decoded value rather than trusted from the wire.
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
         #[derive(Deserialize)]
         struct Raw {
             ls: f64,
@@ -216,7 +216,7 @@ impl<'de> Deserialize<'de> for WorkloadParams {
             opres: f64,
             nshd: f64,
         }
-        let raw = Raw::deserialize(deserializer)?;
+        let raw = Raw::from_value(value)?;
         let mut b = WorkloadParams::builder();
         b.ls(raw.ls)
             .msdat(raw.msdat)
@@ -430,12 +430,17 @@ mod tests {
     #[test]
     fn nshd_above_one_is_legal() {
         // nshd is a count, not a probability: the high Table 7 value is 7.
-        let w = WorkloadParams::default().with_param(ParamId::Nshd, 7.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Nshd, 7.0)
+            .unwrap();
         assert_eq!(w.nshd(), 7.0);
     }
 
     #[test]
     fn default_is_middle() {
-        assert_eq!(WorkloadParams::default(), WorkloadParams::at_level(Level::Middle));
+        assert_eq!(
+            WorkloadParams::default(),
+            WorkloadParams::at_level(Level::Middle)
+        );
     }
 }

@@ -174,23 +174,81 @@ pub struct Table7([ParamRange; 11]);
 /// Note the `apl` entry is stored as `apl` (25 / ≈7.69 / 1), i.e. the
 /// reciprocal of the tabulated `1/apl` column (0.04 / 0.13 / 1.0).
 pub const TABLE7_RANGES: Table7 = Table7([
-    ParamRange { id: ParamId::Ls, low: 0.2, middle: 0.3, high: 0.4 },
-    ParamRange { id: ParamId::Msdat, low: 0.004, middle: 0.014, high: 0.024 },
-    ParamRange { id: ParamId::Mains, low: 0.0014, middle: 0.0022, high: 0.0034 },
-    ParamRange { id: ParamId::Md, low: 0.14, middle: 0.20, high: 0.50 },
-    ParamRange { id: ParamId::Shd, low: 0.08, middle: 0.25, high: 0.42 },
-    ParamRange { id: ParamId::Wr, low: 0.10, middle: 0.25, high: 0.40 },
-    ParamRange { id: ParamId::Apl, low: 25.0, middle: 1.0 / 0.13, high: 1.0 },
-    ParamRange { id: ParamId::Mdshd, low: 0.0, middle: 0.25, high: 0.5 },
-    ParamRange { id: ParamId::Oclean, low: 0.60, middle: 0.84, high: 0.976 },
-    ParamRange { id: ParamId::Opres, low: 0.63, middle: 0.79, high: 0.94 },
-    ParamRange { id: ParamId::Nshd, low: 1.0, middle: 1.0, high: 7.0 },
+    ParamRange {
+        id: ParamId::Ls,
+        low: 0.2,
+        middle: 0.3,
+        high: 0.4,
+    },
+    ParamRange {
+        id: ParamId::Msdat,
+        low: 0.004,
+        middle: 0.014,
+        high: 0.024,
+    },
+    ParamRange {
+        id: ParamId::Mains,
+        low: 0.0014,
+        middle: 0.0022,
+        high: 0.0034,
+    },
+    ParamRange {
+        id: ParamId::Md,
+        low: 0.14,
+        middle: 0.20,
+        high: 0.50,
+    },
+    ParamRange {
+        id: ParamId::Shd,
+        low: 0.08,
+        middle: 0.25,
+        high: 0.42,
+    },
+    ParamRange {
+        id: ParamId::Wr,
+        low: 0.10,
+        middle: 0.25,
+        high: 0.40,
+    },
+    ParamRange {
+        id: ParamId::Apl,
+        low: 25.0,
+        middle: 1.0 / 0.13,
+        high: 1.0,
+    },
+    ParamRange {
+        id: ParamId::Mdshd,
+        low: 0.0,
+        middle: 0.25,
+        high: 0.5,
+    },
+    ParamRange {
+        id: ParamId::Oclean,
+        low: 0.60,
+        middle: 0.84,
+        high: 0.976,
+    },
+    ParamRange {
+        id: ParamId::Opres,
+        low: 0.63,
+        middle: 0.79,
+        high: 0.94,
+    },
+    ParamRange {
+        id: ParamId::Nshd,
+        low: 1.0,
+        middle: 1.0,
+        high: 7.0,
+    },
 ]);
 
 impl Table7 {
     /// The range row for one parameter.
     pub fn range(&self, id: ParamId) -> ParamRange {
-        self.0[ParamId::ALL.iter().position(|&p| p == id).expect("ParamId::ALL is exhaustive")]
+        self.0[ParamId::ALL
+            .iter()
+            .position(|&p| p == id)
+            .expect("ParamId::ALL is exhaustive")]
     }
 
     /// The value of one parameter at one level.

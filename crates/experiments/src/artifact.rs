@@ -71,7 +71,9 @@ impl Table {
         };
         out.push_str(&line(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&line(row, &widths));
@@ -209,6 +211,14 @@ impl Artifact {
         match self {
             Artifact::Table(t) => &t.title,
             Artifact::Figure(f) => &f.title,
+        }
+    }
+
+    /// Appends a footnote to either kind.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        match self {
+            Artifact::Table(t) => t.notes.push(note.into()),
+            Artifact::Figure(f) => f.notes.push(note.into()),
         }
     }
 

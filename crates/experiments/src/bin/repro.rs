@@ -1,20 +1,27 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro list                        list experiment ids and titles
-//! repro all [--quick] [--json]      run every experiment
-//! repro <id>... [--quick] [--json]  run selected experiments
+//! repro list                                  list experiment ids and titles
+//! repro all [--quick] [--json] [--jobs N]     run every experiment
+//! repro <id>... [--quick] [--json] [--jobs N] run selected experiments
 //! ```
 //!
+//! `--all` is accepted as a flag alias for the `all` subcommand.
 //! `--quick` shortens the synthetic traces used by the
 //! simulation-backed experiments. `--json` emits the artifacts as one
 //! JSON array (for plotting scripts and regression tooling) instead of
-//! rendered text.
+//! rendered text. `--jobs N` runs up to `N` experiments concurrently
+//! (`0` = one per available core); output order always matches request
+//! order, and every artifact carries a `runner:` footnote with its
+//! wall-clock duration.
 
 use std::io::Write;
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use swcc_experiments::registry::{find, RunOptions, EXPERIMENTS};
+use swcc_experiments::runner::{default_jobs, run_selected};
 
 /// Prints to stdout, exiting quietly if the reader closed the pipe
 /// (e.g. `repro all | head`).
@@ -30,11 +37,35 @@ macro_rules! say {
 }
 
 fn usage() {
-    eprintln!("usage: repro list | all [--quick] [--json] | <id>... [--quick] [--json]");
+    eprintln!(
+        "usage: repro list | all [--quick] [--json] [--jobs N] | <id>... [--quick] [--json] [--jobs N]"
+    );
     eprintln!("ids:");
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.id, e.title);
     }
+}
+
+/// Parses `--jobs N` / `--jobs=N` out of `args`. `Ok(None)` if absent;
+/// `0` means "one job per available core".
+fn take_jobs(args: &mut Vec<String>) -> Result<Option<NonZeroUsize>, String> {
+    let value = if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        if pos + 1 >= args.len() {
+            return Err("--jobs needs a value".into());
+        }
+        let v = args.remove(pos + 1);
+        args.remove(pos);
+        v
+    } else if let Some(pos) = args.iter().position(|a| a.starts_with("--jobs=")) {
+        let v = args.remove(pos);
+        v["--jobs=".len()..].to_string()
+    } else {
+        return Ok(None);
+    };
+    let n: usize = value
+        .parse()
+        .map_err(|_| format!("--jobs: not a number: {value}"))?;
+    Ok(Some(NonZeroUsize::new(n).unwrap_or_else(default_jobs)))
 }
 
 fn main() -> ExitCode {
@@ -49,7 +80,16 @@ fn main() -> ExitCode {
     };
     let quick = take_flag("--quick");
     let json = take_flag("--json");
-    if args.is_empty() {
+    let all_flag = take_flag("--all");
+    let jobs = match take_jobs(&mut args) {
+        Ok(j) => j,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.is_empty() && !all_flag {
         usage();
         return ExitCode::FAILURE;
     }
@@ -58,13 +98,13 @@ fn main() -> ExitCode {
     } else {
         RunOptions::default()
     };
-    if args[0] == "list" {
+    if !all_flag && args[0] == "list" {
         for e in EXPERIMENTS {
             say!("{:<8} {}", e.id, e.title);
         }
         return ExitCode::SUCCESS;
     }
-    let selected: Vec<&'static swcc_experiments::Experiment> = if args[0] == "all" {
+    let selected: Vec<&'static swcc_experiments::Experiment> = if all_flag || args[0] == "all" {
         EXPERIMENTS.iter().collect()
     } else {
         let mut v = Vec::new();
@@ -80,9 +120,14 @@ fn main() -> ExitCode {
         }
         v
     };
+    let jobs = jobs.unwrap_or_else(|| NonZeroUsize::new(1).expect("1 is non-zero"));
+    let count = selected.len();
+    let wall = Instant::now();
+    let records = run_selected(&selected, &opts, jobs);
+    let wall = wall.elapsed();
     if json {
         let artifacts: Vec<(&str, swcc_experiments::Artifact)> =
-            selected.iter().map(|e| (e.id, (e.run)(&opts))).collect();
+            records.into_iter().map(|r| (r.id, r.artifact)).collect();
         match serde_json::to_string_pretty(&artifacts) {
             Ok(s) => say!("{s}"),
             Err(e) => {
@@ -90,12 +135,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        return ExitCode::SUCCESS;
+    } else {
+        for r in &records {
+            say!("=== {} — {} ===", r.id, r.title);
+            say!("{}", r.artifact.render());
+        }
     }
-    for e in selected {
-        say!("=== {} — {} ===", e.id, e.title);
-        let artifact = (e.run)(&opts);
-        say!("{}", artifact.render());
-    }
+    eprintln!(
+        "ran {count} experiment(s) with {jobs} job(s) in {:.1} ms",
+        wall.as_secs_f64() * 1e3
+    );
     ExitCode::SUCCESS
 }

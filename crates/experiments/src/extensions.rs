@@ -73,7 +73,9 @@ pub fn directory_vs_software() -> Table {
         let sf = analyze_network(Scheme::SoftwareFlush, &w, 8)
             .expect("software-flush")
             .power();
-        let nc = analyze_network(Scheme::NoCache, &w, 8).expect("no-cache").power();
+        let nc = analyze_network(Scheme::NoCache, &w, 8)
+            .expect("no-cache")
+            .power();
         t.push_row(vec![
             level.to_string(),
             format!("{base:.1}"),
@@ -122,8 +124,7 @@ pub fn patel_vs_simulation(instructions_per_cpu: u64, seed: u64) -> Figure {
         fig.push_series(Series::new(format!("{scheme} sim"), sim_pts));
     }
     fig.notes.push(
-        "validating the paper's §6.2 methodology by simulation was its stated future work"
-            .into(),
+        "validating the paper's §6.2 methodology by simulation was its stated future work".into(),
     );
     fig
 }
@@ -148,7 +149,9 @@ pub fn service_discipline(instructions_per_cpu: usize, seed: u64) -> Table {
         ],
     );
     for cpus in [2u16, 4, 8] {
-        let trace = Preset::Pero.config(cpus, instructions_per_cpu, seed).generate();
+        let trace = Preset::Pero
+            .config(cpus, instructions_per_cpu, seed)
+            .generate();
         let fixed_cfg = SimConfig::new(ProtocolKind::Dragon);
         let mut b = SimConfig::builder(ProtocolKind::Dragon);
         b.service(ServiceDiscipline::Exponential).seed(seed);
@@ -156,8 +159,13 @@ pub fn service_discipline(instructions_per_cpu: usize, seed: u64) -> Table {
         let fixed = simulate(&trace, &fixed_cfg);
         let exponential = simulate(&trace, &exp_cfg);
         let workload = measure_workload(&trace, &fixed_cfg);
-        let model = analyze_bus(Scheme::Dragon, &workload, fixed_cfg.system(), u32::from(cpus))
-            .expect("bus analysis");
+        let model = analyze_bus(
+            Scheme::Dragon,
+            &workload,
+            fixed_cfg.system(),
+            u32::from(cpus),
+        )
+        .expect("bus analysis");
         t.push_row(vec![
             cpus.to_string(),
             format!("{:.4}", fixed.contention_per_instruction()),
@@ -199,11 +207,15 @@ pub fn update_vs_invalidate() -> Figure {
         let w = base.with_param(ParamId::Apl, apl).expect("apl >= 1");
         dragon.push((
             apl,
-            analyze_bus(Scheme::Dragon, &w, &system, 16).expect("bus").power(),
+            analyze_bus(Scheme::Dragon, &w, &system, 16)
+                .expect("bus")
+                .power(),
         ));
         mesi.push((
             apl,
-            bus_performance_invalidate(&w, &system, 16).expect("bus").power(),
+            bus_performance_invalidate(&w, &system, 16)
+                .expect("bus")
+                .power(),
         ));
         sf.push((
             apl,
@@ -304,24 +316,37 @@ mod tests {
         // apl references — is intrinsic to invalidation, not to the
         // software flush instructions.
         let ratio = |level: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == level).unwrap()[5].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == level).unwrap()[5]
+                .parse()
+                .unwrap()
         };
-        assert!((0.95..=1.005).contains(&ratio("low")), "low: {}", ratio("low"));
+        assert!(
+            (0.95..=1.005).contains(&ratio("low")),
+            "low: {}",
+            ratio("low")
+        );
         for level in ["low", "middle", "high"] {
             let r = ratio(level);
             assert!((0.85..=1.005).contains(&r), "{level}: {r}");
         }
         let power = |level: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == level).unwrap()[2].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == level).unwrap()[2]
+                .parse()
+                .unwrap()
         };
-        assert!(power("high") < 0.2 * power("low"), "directory collapses at apl = 1");
+        assert!(
+            power("high") < 0.2 * power("low"),
+            "directory collapses at apl = 1"
+        );
     }
 
     #[test]
     fn exponential_service_inflates_contention_toward_the_model() {
         let t = service_discipline(20_000, 0xD15C);
         let get = |cpus: &str, col: usize| -> f64 {
-            t.rows.iter().find(|r| r[0] == cpus).unwrap()[col].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == cpus).unwrap()[col]
+                .parse()
+                .unwrap()
         };
         // Service variability always increases queueing: the
         // exponential-service run must show more contention than the
@@ -352,9 +377,8 @@ mod tests {
         let f = update_vs_invalidate();
         let dragon = f.series_named("Dragon (update)").unwrap();
         let mesi = f.series_named("Write-Invalidate").unwrap();
-        let at = |s: &crate::artifact::Series, apl: f64| {
-            s.points.iter().find(|p| p.0 == apl).unwrap().1
-        };
+        let at =
+            |s: &crate::artifact::Series, apl: f64| s.points.iter().find(|p| p.0 == apl).unwrap().1;
         // Ping-pong sharing: update wins.
         assert!(at(dragon, 1.0) > at(mesi, 1.0));
         // Migratory sharing: invalidate wins.
@@ -447,7 +471,10 @@ mod tests {
             let sim = f.series_named(&format!("{scheme} sim")).unwrap();
             for (&(s, m), &(_, v)) in model.points.iter().zip(&sim.points) {
                 let err = (m - v).abs() / v;
-                assert!(err < 0.25, "{scheme} at {s} stages: model {m:.3} sim {v:.3}");
+                assert!(
+                    err < 0.25,
+                    "{scheme} at {s} stages: model {m:.3} sim {v:.3}"
+                );
             }
         }
     }

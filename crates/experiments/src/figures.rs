@@ -110,8 +110,8 @@ pub fn fig7() -> Figure {
         ));
     }
     for scheme in [Scheme::Dragon, Scheme::NoCache] {
-        let curve = bus_power_curve(scheme, &w, &system, BUS_MAX_PROCESSORS)
-            .expect("defined on a bus");
+        let curve =
+            bus_power_curve(scheme, &w, &system, BUS_MAX_PROCESSORS).expect("defined on a bus");
         fig.push_series(Series::new(
             scheme.to_string(),
             curve
@@ -184,8 +184,8 @@ pub fn fig10() -> Figure {
     for scheme in [Scheme::Base, Scheme::SoftwareFlush, Scheme::NoCache] {
         let points: Vec<(f64, f64)> = (0..=6u32)
             .map(|stages| {
-                let p = analyze_network(scheme, &w, stages)
-                    .expect("software schemes run on networks");
+                let p =
+                    analyze_network(scheme, &w, stages).expect("software schemes run on networks");
                 (f64::from(p.processors()), p.power())
             })
             .collect();
@@ -224,8 +224,8 @@ pub fn fig11() -> Figure {
     for scheme in [Scheme::Base, Scheme::SoftwareFlush, Scheme::NoCache] {
         for level in Level::ALL {
             let w = WorkloadParams::at_level(level);
-            let perf = analyze_network(scheme, &w, stages)
-                .expect("software schemes run on networks");
+            let perf =
+                analyze_network(scheme, &w, stages).expect("software schemes run on networks");
             let op = perf.operating_point();
             let code = scheme.code().expect("network schemes have codes");
             fig.push_series(Series::new(
@@ -284,7 +284,10 @@ mod tests {
             .final_y()
             .unwrap();
         let nc = f.series_named("No-Cache").unwrap().final_y().unwrap();
-        assert!(apl1 < nc, "apl=1 ({apl1:.2}) must underperform No-Cache ({nc:.2})");
+        assert!(
+            apl1 < nc,
+            "apl=1 ({apl1:.2}) must underperform No-Cache ({nc:.2})"
+        );
     }
 
     #[test]
@@ -296,7 +299,10 @@ mod tests {
             .final_y()
             .unwrap();
         let dragon = f.series_named("Dragon").unwrap().final_y().unwrap();
-        assert!(apl100 > 0.9 * dragon, "apl=100 {apl100:.2} vs dragon {dragon:.2}");
+        assert!(
+            apl100 > 0.9 * dragon,
+            "apl=100 {apl100:.2} vs dragon {dragon:.2}"
+        );
     }
 
     #[test]
@@ -320,13 +326,20 @@ mod tests {
     #[test]
     fn fig10_network_overtakes_bus_for_software_schemes() {
         let f = fig10();
-        let bus = f.series_named("Software-Flush (bus)").unwrap().final_y().unwrap();
+        let bus = f
+            .series_named("Software-Flush (bus)")
+            .unwrap()
+            .final_y()
+            .unwrap();
         let net = f
             .series_named("Software-Flush (network)")
             .unwrap()
             .final_y()
             .unwrap();
-        assert!(net > bus, "network {net:.2} must beat saturated bus {bus:.2} at 64 cpus");
+        assert!(
+            net > bus,
+            "network {net:.2} must beat saturated bus {bus:.2} at 64 cpus"
+        );
     }
 
     #[test]
@@ -334,7 +347,9 @@ mod tests {
         let f = fig11();
         assert_eq!(f.series.len(), 5 + 9);
         for code in ["Bl", "Bm", "Bh", "Sl", "Sm", "Sh", "Nl", "Nm", "Nh"] {
-            let s = f.series_named(code).unwrap_or_else(|| panic!("missing {code}"));
+            let s = f
+                .series_named(code)
+                .unwrap_or_else(|| panic!("missing {code}"));
             assert_eq!(s.points.len(), 1);
         }
     }
@@ -352,7 +367,10 @@ mod tests {
         let f = fig11();
         let u_at = |name: &str| {
             let s = f.series_named(name).unwrap();
-            s.points.iter().find(|p| (p.0 - 0.05).abs() < 1e-9).map(|p| p.1)
+            s.points
+                .iter()
+                .find(|p| (p.0 - 0.05).abs() < 1e-9)
+                .map(|p| p.1)
         };
         // At the same rate, bigger messages mean lower utilization.
         let u1 = u_at("1-word messages");

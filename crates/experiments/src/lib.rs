@@ -13,6 +13,9 @@
 //!   simulation).
 //! * [`registry`] — id-indexed access to all twenty experiments, used by
 //!   the `repro` binary and the benchmark suite.
+//! * [`runner`] — a scoped-thread pool that runs batches of experiments
+//!   concurrently (`repro --jobs N`) and records per-experiment
+//!   wall-clock durations into the artifacts.
 //!
 //! Run everything with:
 //!
@@ -39,8 +42,10 @@ pub mod extensions;
 pub mod figures;
 pub mod plot;
 pub mod registry;
+pub mod runner;
 pub mod tables;
 pub mod validation;
 
 pub use artifact::{Artifact, Figure, Series, Table};
 pub use registry::{find, Experiment, RunOptions, EXPERIMENTS};
+pub use runner::{default_jobs, run_all, run_selected, RunRecord};

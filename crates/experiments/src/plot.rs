@@ -16,7 +16,10 @@ const GLYPHS: &[u8] = b"*o+x#@%&$~";
 /// Returns an empty string if no series has any points (nothing to
 /// scale the axes by).
 pub fn ascii_plot(series: &[Series], x_label: &str, y_label: &str) -> String {
-    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if points.is_empty() {
         return String::new();
     }

@@ -1,0 +1,184 @@
+//! Parallel experiment runner.
+//!
+//! Experiments in the [`crate::registry`] are independent pure functions
+//! of their [`RunOptions`], so a batch of them parallelizes trivially: a
+//! fixed pool of scoped threads ([`std::thread::scope`] — no external
+//! thread-pool dependency) pulls experiment indices from a shared atomic
+//! counter until the batch is drained. Results come back in registry
+//! order regardless of completion order, and each artifact records its
+//! own wall-clock duration as a footnote.
+//!
+//! The `repro` binary drives this through `--jobs N`; library users call
+//! [`run_selected`] or [`run_all`] directly.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::artifact::Artifact;
+use crate::registry::{Experiment, RunOptions, EXPERIMENTS};
+
+/// The outcome of one experiment run through the runner.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Stable experiment id (`"table8"`, `"fig11"`, ...).
+    pub id: &'static str,
+    /// Human-readable experiment title.
+    pub title: &'static str,
+    /// The produced artifact. The runner appends a
+    /// `runner: completed in … ms` footnote, so rendered and JSON output
+    /// carry the timing with them.
+    pub artifact: Artifact,
+    /// Wall-clock time this experiment took.
+    pub duration: Duration,
+}
+
+/// The machine's available parallelism, or 1 if it cannot be queried.
+pub fn default_jobs() -> NonZeroUsize {
+    std::thread::available_parallelism()
+        .unwrap_or_else(|_| NonZeroUsize::new(1).expect("1 is non-zero"))
+}
+
+/// Runs the given experiments on a pool of `jobs` worker threads.
+///
+/// Results are returned in input order. Each worker repeatedly claims
+/// the next unclaimed experiment (work stealing via an atomic cursor),
+/// so one slow experiment cannot idle the rest of the pool. With
+/// `jobs = 1` the behavior is exactly sequential.
+///
+/// # Panics
+///
+/// Propagates a panic from any experiment body after the remaining
+/// workers finish their current experiments.
+pub fn run_selected(
+    experiments: &[&'static Experiment],
+    options: &RunOptions,
+    jobs: NonZeroUsize,
+) -> Vec<RunRecord> {
+    let workers = jobs.get().min(experiments.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, RunRecord)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(exp) = experiments.get(i) else { break };
+                let start = Instant::now();
+                let mut artifact = (exp.run)(options);
+                let duration = start.elapsed();
+                artifact.push_note(format!(
+                    "runner: completed in {:.1} ms",
+                    duration.as_secs_f64() * 1e3
+                ));
+                let record = RunRecord {
+                    id: exp.id,
+                    title: exp.title,
+                    artifact,
+                    duration,
+                };
+                // The receiver outlives the scope; a send cannot fail.
+                let _ = tx.send((i, record));
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<RunRecord>> = experiments.iter().map(|_| None).collect();
+    for (i, record) in rx.try_iter() {
+        slots[i] = Some(record);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every claimed experiment sends exactly one record"))
+        .collect()
+}
+
+/// Runs every registered experiment (see [`run_selected`]).
+pub fn run_all(options: &RunOptions, jobs: NonZeroUsize) -> Vec<RunRecord> {
+    let all: Vec<&'static Experiment> = EXPERIMENTS.iter().collect();
+    run_selected(&all, options, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::find;
+
+    fn quick_batch() -> Vec<&'static Experiment> {
+        ["table1", "table7", "table8", "fig4", "fig5", "fig6"]
+            .iter()
+            .map(|id| find(id).expect("registered"))
+            .collect()
+    }
+
+    fn without_runner_notes(mut artifact: Artifact) -> Artifact {
+        let notes = match &mut artifact {
+            Artifact::Table(t) => &mut t.notes,
+            Artifact::Figure(f) => &mut f.notes,
+        };
+        notes.retain(|n| !n.starts_with("runner:"));
+        artifact
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_direct() {
+        let opts = RunOptions::quick();
+        let batch = quick_batch();
+        let jobs = NonZeroUsize::new(4).unwrap();
+        let records = run_selected(&batch, &opts, jobs);
+        assert_eq!(records.len(), batch.len());
+        for (exp, record) in batch.iter().zip(&records) {
+            assert_eq!(exp.id, record.id, "results must keep input order");
+            let direct = (exp.run)(&opts);
+            assert_eq!(
+                without_runner_notes(record.artifact.clone()),
+                direct,
+                "{} must not depend on the runner",
+                record.id
+            );
+        }
+    }
+
+    #[test]
+    fn artifacts_carry_timing_notes() {
+        let opts = RunOptions::quick();
+        let batch = quick_batch();
+        let records = run_selected(&batch, &opts, NonZeroUsize::new(2).unwrap());
+        for record in &records {
+            assert!(
+                record.artifact.render().contains("runner: completed in"),
+                "{} missing timing note",
+                record.id
+            );
+        }
+    }
+
+    #[test]
+    fn single_job_is_sequential() {
+        let opts = RunOptions::quick();
+        let batch = quick_batch();
+        let a = run_selected(&batch, &opts, NonZeroUsize::new(1).unwrap());
+        let b = run_selected(&batch, &opts, NonZeroUsize::new(3).unwrap());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                without_runner_notes(x.artifact.clone()),
+                without_runner_notes(y.artifact.clone()),
+                "{} must be independent of job count",
+                x.id
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let records = run_selected(&[], &RunOptions::quick(), NonZeroUsize::new(8).unwrap());
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs().get() >= 1);
+    }
+}

@@ -36,9 +36,8 @@ pub fn table1() -> Table {
             c.interconnect().to_string(),
         ]);
     }
-    t.notes.push(
-        "derived from a RISC machine with 4-word blocks, 2-cycle memory, 1-word bus".into(),
-    );
+    t.notes
+        .push("derived from a RISC machine with 4-word blocks, 2-cycle memory, 1-word bus".into());
     t
 }
 
@@ -57,16 +56,14 @@ pub fn table2() -> Table {
 fn frequency_table(title: &str, scheme: Scheme, workload: &WorkloadParams) -> Table {
     let mut t = Table::new(
         title,
-        vec![
-            "operation".into(),
-            "frequency / instruction".into(),
-        ],
+        vec!["operation".into(), "frequency / instruction".into()],
     );
     for (op, freq) in scheme.mix(workload).iter() {
         t.push_row(vec![op.name().to_string(), fmt_f(freq)]);
     }
-    t.notes
-        .push(format!("evaluated at middle (Table 7) parameters; scheme = {scheme}"));
+    t.notes.push(format!(
+        "evaluated at middle (Table 7) parameters; scheme = {scheme}"
+    ));
     t
 }
 
@@ -169,9 +166,8 @@ pub fn table8(processors: u32) -> Table {
             cell(Scheme::Dragon),
         ]);
     }
-    t.notes.push(
-        "apl varies low→high as 25→1 (the paper tabulates 1/apl = 0.04→1.0)".into(),
-    );
+    t.notes
+        .push("apl varies low→high as 25→1 (the paper tabulates 1/apl = 0.04→1.0)".into());
     t
 }
 
@@ -194,8 +190,9 @@ pub fn table9(stages: u32) -> Table {
             ]);
         }
     }
-    t.notes
-        .push("snoopy operations (broadcast, cache-sourced miss, cycle steal) are undefined".into());
+    t.notes.push(
+        "snoopy operations (broadcast, cache-sourced miss, cycle steal) are undefined".into(),
+    );
     t
 }
 

@@ -68,7 +68,9 @@ fn compare_curves(
             .generate();
         let report = simulate(&trace, &config);
         sim_points.push((f64::from(n), report.power()));
-        let scheme = protocol.scheme().expect("validation runs the paper's protocols");
+        let scheme = protocol
+            .scheme()
+            .expect("validation runs the paper's protocols");
         let perf = analyze_bus(scheme, &workload, config.system(), u32::from(n))
             .expect("bus analysis cannot fail for valid workloads");
         model_points.push((f64::from(n), perf.power()));
@@ -109,8 +111,13 @@ pub fn fig2(opts: &ValidationOptions) -> Figure {
         "processing power",
     );
     for cache_kib in [16u64, 64, 256] {
-        let (mut sim, mut model) =
-            compare_curves(Preset::Pops, ProtocolKind::Dragon, cache_kib * 1024, 4, opts);
+        let (mut sim, mut model) = compare_curves(
+            Preset::Pops,
+            ProtocolKind::Dragon,
+            cache_kib * 1024,
+            4,
+            opts,
+        );
         sim.name = format!("{cache_kib}K sim");
         model.name = format!("{cache_kib}K model");
         fig.push_series(sim);
@@ -128,8 +135,13 @@ pub fn fig3(opts: &ValidationOptions) -> Figure {
         "processing power",
     );
     for cache_kib in [16u64, 64, 256] {
-        let (mut sim, mut model) =
-            compare_curves(Preset::Pero, ProtocolKind::Dragon, cache_kib * 1024, 8, opts);
+        let (mut sim, mut model) = compare_curves(
+            Preset::Pero,
+            ProtocolKind::Dragon,
+            cache_kib * 1024,
+            8,
+            opts,
+        );
         sim.name = format!("{cache_kib}K sim");
         model.name = format!("{cache_kib}K model");
         fig.push_series(sim);
@@ -181,17 +193,16 @@ mod tests {
     #[test]
     fn fig1_dragon_does_not_beat_base_in_simulation() {
         let f = fig1(&quick());
-        let base = f
-            .series_named("POPS Base sim")
-            .unwrap()
-            .final_y()
-            .unwrap();
+        let base = f.series_named("POPS Base sim").unwrap().final_y().unwrap();
         let dragon = f
             .series_named("POPS Dragon sim")
             .unwrap()
             .final_y()
             .unwrap();
-        assert!(dragon <= base * 1.02, "dragon {dragon:.3} vs base {base:.3}");
+        assert!(
+            dragon <= base * 1.02,
+            "dragon {dragon:.3} vs base {base:.3}"
+        );
     }
 
     #[test]

@@ -47,8 +47,6 @@ mod report;
 
 pub use config::{InterconnectKind, ServiceDiscipline, SharedPolicy, SimConfig, SimConfigBuilder};
 pub use machine::{simulate, CpuCounters, Multiprocessor};
-pub use network::{
-    simulate_network, simulate_network_packet, NetworkSimConfig, NetworkSimReport,
-};
+pub use network::{simulate_network, simulate_network_packet, NetworkSimConfig, NetworkSimReport};
 pub use protocol::ProtocolKind;
 pub use report::SimReport;

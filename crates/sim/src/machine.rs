@@ -212,9 +212,7 @@ impl Multiprocessor {
                 match self.config.protocol() {
                     ProtocolKind::Base => base::data(self, cpu, write, block),
                     ProtocolKind::NoCache => no_cache::data(self, cpu, write, access.addr, block),
-                    ProtocolKind::SoftwareFlush => {
-                        software_flush::data(self, cpu, write, block)
-                    }
+                    ProtocolKind::SoftwareFlush => software_flush::data(self, cpu, write, block),
                     ProtocolKind::Dragon => dragon::data(self, cpu, write, block),
                     ProtocolKind::WriteInvalidate => {
                         write_invalidate::data(self, cpu, write, block)

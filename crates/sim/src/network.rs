@@ -33,9 +33,9 @@ use serde::{Deserialize, Serialize};
 
 use swcc_core::demand::scheme_demand;
 use swcc_core::scheme::Scheme;
-use swcc_core::{ModelError, Result};
 use swcc_core::system::{CostModel, NetworkSystemModel};
 use swcc_core::workload::WorkloadParams;
+use swcc_core::{ModelError, Result};
 
 /// Configuration of a network simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -231,7 +231,15 @@ pub fn simulate_network(
                         // Start arbitration next cycle at the earliest.
                         let dst = rng.gen_range(0..cpus as u32);
                         phase[cpu] = CpuPhase::Requesting { dst, hold };
-                        try_setup(cpu, dst, hold, now, &mut links, &mut phase[cpu], &mut report);
+                        try_setup(
+                            cpu,
+                            dst,
+                            hold,
+                            now,
+                            &mut links,
+                            &mut phase[cpu],
+                            &mut report,
+                        );
                     } else if done_instr[cpu] < config.instructions_per_cpu {
                         // Issue the next instruction: 1 base cycle plus
                         // sampled op costs.
@@ -268,7 +276,15 @@ pub fn simulate_network(
                 }
                 CpuPhase::Requesting { dst, hold } => {
                     report.retries += 1;
-                    try_setup(cpu, dst, hold, now, &mut links, &mut phase[cpu], &mut report);
+                    try_setup(
+                        cpu,
+                        dst,
+                        hold,
+                        now,
+                        &mut links,
+                        &mut phase[cpu],
+                        &mut report,
+                    );
                 }
                 CpuPhase::Transferring(until) => {
                     if now + 1 >= until {
@@ -284,7 +300,12 @@ pub fn simulate_network(
         }
         now += 1;
         // Defensive bound: a livelock would otherwise spin forever.
-        if now > config.instructions_per_cpu.saturating_mul(1_000).max(1_000_000) {
+        if now
+            > config
+                .instructions_per_cpu
+                .saturating_mul(1_000)
+                .max(1_000_000)
+        {
             return Err(ModelError::Convergence {
                 solver: "network simulation (cycle bound exceeded)",
                 residual: remaining as f64,
@@ -538,7 +559,11 @@ mod tests {
         b.msdat(0.0).mains(0.0).shd(0.0);
         let w = b.build().unwrap();
         let r = simulate_network(Scheme::Base, &w, &quick(2)).unwrap();
-        assert!((r.utilization() - 1.0).abs() < 1e-3, "u = {}", r.utilization());
+        assert!(
+            (r.utilization() - 1.0).abs() < 1e-3,
+            "u = {}",
+            r.utilization()
+        );
         assert_eq!(r.transactions, 0);
     }
 
@@ -574,15 +599,14 @@ mod tests {
     fn packet_switching_helps_no_cache_more_than_software_flush() {
         // The simulated counterpart of the ext_packet model finding.
         let w = WorkloadParams::default();
-        let ratio = |f: fn(
-            Scheme,
-            &WorkloadParams,
-            &NetworkSimConfig,
-        ) -> Result<NetworkSimReport>| {
-            let nc = f(Scheme::NoCache, &w, &quick(4)).unwrap().utilization();
-            let sf = f(Scheme::SoftwareFlush, &w, &quick(4)).unwrap().utilization();
-            nc / sf
-        };
+        let ratio =
+            |f: fn(Scheme, &WorkloadParams, &NetworkSimConfig) -> Result<NetworkSimReport>| {
+                let nc = f(Scheme::NoCache, &w, &quick(4)).unwrap().utilization();
+                let sf = f(Scheme::SoftwareFlush, &w, &quick(4))
+                    .unwrap()
+                    .utilization();
+                nc / sf
+            };
         assert!(ratio(simulate_network_packet) > ratio(simulate_network));
     }
 
@@ -597,7 +621,9 @@ mod tests {
 
     #[test]
     fn no_sharing_means_no_throughs_for_no_cache() {
-        let w = WorkloadParams::default().with_param(ParamId::Shd, 0.0).unwrap();
+        let w = WorkloadParams::default()
+            .with_param(ParamId::Shd, 0.0)
+            .unwrap();
         let base = simulate_network(Scheme::Base, &w, &quick(3)).unwrap();
         let nc = simulate_network(Scheme::NoCache, &w, &quick(3)).unwrap();
         // Identical op distribution: utilizations must be very close.

@@ -58,7 +58,10 @@ mod tests {
         let t = m.time[0];
         data(&mut m, 0, true, BlockAddr(5));
         assert_eq!(m.caches[0].peek(BlockAddr(5)), Some(LineState::Dirty));
-        assert_eq!(m.time[0], t, "store hit is free beyond the instruction cycle");
+        assert_eq!(
+            m.time[0], t,
+            "store hit is free beyond the instruction cycle"
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ mod tests {
     fn protocols_map_to_schemes() {
         assert_eq!(ProtocolKind::Base.scheme(), Some(Scheme::Base));
         assert_eq!(ProtocolKind::NoCache.scheme(), Some(Scheme::NoCache));
-        assert_eq!(ProtocolKind::SoftwareFlush.scheme(), Some(Scheme::SoftwareFlush));
+        assert_eq!(
+            ProtocolKind::SoftwareFlush.scheme(),
+            Some(Scheme::SoftwareFlush)
+        );
         assert_eq!(ProtocolKind::Dragon.scheme(), Some(Scheme::Dragon));
         assert_eq!(ProtocolKind::WriteInvalidate.scheme(), None);
         for p in ProtocolKind::PAPER {
@@ -123,6 +126,9 @@ mod tests {
     fn display_matches_scheme_names() {
         assert_eq!(ProtocolKind::Dragon.to_string(), "Dragon");
         assert_eq!(ProtocolKind::SoftwareFlush.to_string(), "Software-Flush");
-        assert_eq!(ProtocolKind::WriteInvalidate.to_string(), "Write-Invalidate");
+        assert_eq!(
+            ProtocolKind::WriteInvalidate.to_string(),
+            "Write-Invalidate"
+        );
     }
 }

@@ -148,7 +148,9 @@ pub fn read_text<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
             .next()
             .and_then(kind_from_char)
             .ok_or_else(|| err("kind must be one of i/r/w/f".into()))?;
-        let addr_str = parts.next().ok_or_else(|| err("missing address field".into()))?;
+        let addr_str = parts
+            .next()
+            .ok_or_else(|| err("missing address field".into()))?;
         let digits = addr_str.strip_prefix("0x").unwrap_or(addr_str);
         let addr = u64::from_str_radix(digits, 16)
             .map_err(|e| err(format!("bad address {addr_str:?}: {e}")))?;
@@ -189,7 +191,9 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
         message: message.to_string(),
     };
     let mut header = [0u8; 16];
-    reader.read_exact(&mut header).map_err(|_| corrupt("truncated header"))?;
+    reader
+        .read_exact(&mut header)
+        .map_err(|_| corrupt("truncated header"))?;
     if &header[..8] != BINARY_MAGIC {
         return Err(corrupt("bad magic"));
     }
@@ -205,7 +209,9 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
             .map_err(|_| corrupt(&format!("truncated at record {i}")))?;
         let cpu = u16::from_le_bytes([record[0], record[1]]);
         if cpu >= cpus {
-            return Err(corrupt(&format!("record {i}: cpu {cpu} out of range (< {cpus})")));
+            return Err(corrupt(&format!(
+                "record {i}: cpu {cpu} out of range (< {cpus})"
+            )));
         }
         let kind = kind_from_char(std::str::from_utf8(&record[2..3]).unwrap_or("?"))
             .ok_or_else(|| corrupt(&format!("record {i}: unknown kind byte {}", record[2])))?;

@@ -185,7 +185,10 @@ mod tests {
     fn bases_round_trip_through_classify() {
         let l = layout();
         for cpu in 0..4u16 {
-            assert_eq!(l.classify(l.code_base(CpuId(cpu))), Region::Code(CpuId(cpu)));
+            assert_eq!(
+                l.classify(l.code_base(CpuId(cpu))),
+                Region::Code(CpuId(cpu))
+            );
             assert_eq!(
                 l.classify(l.private_base(CpuId(cpu))),
                 Region::Private(CpuId(cpu))

@@ -174,11 +174,7 @@ impl Trace {
     /// Builds a trace from records, inferring the processor count from
     /// the largest `CpuId` present (empty traces get 0 processors).
     pub fn from_records(records: Vec<Access>) -> Self {
-        let cpus = records
-            .iter()
-            .map(|r| r.cpu.0 + 1)
-            .max()
-            .unwrap_or(0);
+        let cpus = records.iter().map(|r| r.cpu.0 + 1).max().unwrap_or(0);
         Trace { records, cpus }
     }
 

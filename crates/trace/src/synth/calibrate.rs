@@ -114,9 +114,7 @@ pub fn calibrate(
         assert!(apl >= 1.0, "apl target must be >= 1");
     }
 
-    let measure = |cfg: &SynthConfig| -> TraceStats {
-        TraceStats::measure(&cfg.generate(), 4)
-    };
+    let measure = |cfg: &SynthConfig| -> TraceStats { TraceStats::measure(&cfg.generate(), 4) };
 
     // apl feedback: measured apl grows with run_length but sub-linearly
     // (interleaving splits runs), so adjust multiplicatively.
@@ -174,9 +172,21 @@ mod tests {
             },
             0.1,
         );
-        assert!((cal.measured_ls - 0.35).abs() < 0.02, "ls {}", cal.measured_ls);
-        assert!((cal.measured_shd - 0.30).abs() < 0.05, "shd {}", cal.measured_shd);
-        assert!((cal.measured_wr - 0.20).abs() < 0.03, "wr {}", cal.measured_wr);
+        assert!(
+            (cal.measured_ls - 0.35).abs() < 0.02,
+            "ls {}",
+            cal.measured_ls
+        );
+        assert!(
+            (cal.measured_shd - 0.30).abs() < 0.05,
+            "shd {}",
+            cal.measured_shd
+        );
+        assert!(
+            (cal.measured_wr - 0.20).abs() < 0.03,
+            "wr {}",
+            cal.measured_wr
+        );
         assert_eq!(cal.iterations, 0);
     }
 

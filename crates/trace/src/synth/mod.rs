@@ -111,7 +111,12 @@ impl SynthConfig {
 
     /// The address layout the generator references.
     pub fn layout(&self) -> AddressLayout {
-        AddressLayout::new(self.cpus, self.code_size, self.private_size, self.shared_size)
+        AddressLayout::new(
+            self.cpus,
+            self.code_size,
+            self.private_size,
+            self.shared_size,
+        )
     }
 
     /// Generates the trace.
@@ -199,10 +204,19 @@ impl SynthConfigBuilder {
             assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
         }
         assert!(c.cpus >= 1, "need at least one cpu");
-        assert!(c.instructions_per_cpu > 0, "need a positive instruction budget");
-        assert!(c.loop_words >= 1.0 && c.loop_repeats >= 1.0, "loop shape must be >= 1");
+        assert!(
+            c.instructions_per_cpu > 0,
+            "need a positive instruction budget"
+        );
+        assert!(
+            c.loop_words >= 1.0 && c.loop_repeats >= 1.0,
+            "loop shape must be >= 1"
+        );
         assert!(c.run_length >= 1.0, "run_length must be >= 1");
-        assert!(c.region_blocks >= 1 && c.hot_regions >= 1, "region shape must be >= 1");
+        assert!(
+            c.region_blocks >= 1 && c.hot_regions >= 1,
+            "region shape must be >= 1"
+        );
         assert!(
             c.shared_size >= c.hot_regions * c.region_blocks * 16,
             "shared segment too small for {} regions of {} blocks",
@@ -488,13 +502,11 @@ mod tests {
                 AccessKind::Fetch => {
                     assert_eq!(layout.classify(a.addr), Region::Code(a.cpu), "{a}");
                 }
-                AccessKind::Load | AccessKind::Store => {
-                    match layout.classify(a.addr) {
-                        Region::Private(c) => assert_eq!(c, a.cpu, "{a}"),
-                        Region::Shared => {}
-                        r => panic!("data access {a} classified {r:?}"),
-                    }
-                }
+                AccessKind::Load | AccessKind::Store => match layout.classify(a.addr) {
+                    Region::Private(c) => assert_eq!(c, a.cpu, "{a}"),
+                    Region::Shared => {}
+                    r => panic!("data access {a} classified {r:?}"),
+                },
                 AccessKind::Flush => {
                     assert_eq!(layout.classify(a.addr), Region::Shared, "{a}");
                 }
@@ -522,7 +534,10 @@ mod tests {
     #[test]
     fn flushes_emitted_when_requested() {
         let mut b = SynthConfig::builder();
-        b.cpus(2).instructions_per_cpu(20_000).emit_flushes(true).seed(9);
+        b.cpus(2)
+            .instructions_per_cpu(20_000)
+            .emit_flushes(true)
+            .seed(9);
         let t = b.build().generate();
         let flushes = t.iter().filter(|a| a.kind == AccessKind::Flush).count();
         assert!(flushes > 0);

@@ -31,10 +31,7 @@ where
     I: IntoIterator,
     I::Item: IntoIterator<Item = Access>,
 {
-    let mut iters: Vec<_> = streams
-        .into_iter()
-        .map(|s| s.into_iter())
-        .collect();
+    let mut iters: Vec<_> = streams.into_iter().map(|s| s.into_iter()).collect();
     let cpus = iters.len() as u16;
     let mut trace = Trace::new(cpus);
     let mut exhausted = vec![false; iters.len()];
@@ -95,12 +92,7 @@ mod tests {
     #[test]
     fn split_then_interleave_round_trips_round_robin_traces() {
         // A perfectly round-robin trace survives the round trip.
-        let t = Trace::from_records(vec![
-            acc(0, 0x10),
-            acc(1, 0x20),
-            acc(0, 0x11),
-            acc(1, 0x21),
-        ]);
+        let t = Trace::from_records(vec![acc(0, 0x10), acc(1, 0x20), acc(0, 0x11), acc(1, 0x21)]);
         let back = interleave(split(&t));
         assert_eq!(back, t);
     }

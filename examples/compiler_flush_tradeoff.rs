@@ -21,7 +21,10 @@ fn main() -> Result<(), ModelError> {
     let base = WorkloadParams::default();
 
     println!("Software-Flush vs apl (8-processor bus, middle workload)");
-    println!("{:>6} {:>12} {:>12} {:>12}", "apl", "SF power", "NoCache", "Dragon");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "apl", "SF power", "NoCache", "Dragon"
+    );
     let no_cache = analyze_bus(Scheme::NoCache, &base, &system, 8)?.power();
     let dragon = analyze_bus(Scheme::Dragon, &base, &system, 8)?.power();
     let mut beats_no_cache: Option<f64> = None;
@@ -64,9 +67,11 @@ fn main() -> Result<(), ModelError> {
     report("reach 90% of Base on the network", reaches_90pct_base);
 
     println!();
-    println!("Paper §7: \"if a shared variable is frequently updated by different \
+    println!(
+        "Paper §7: \"if a shared variable is frequently updated by different \
               processors, it is likely to have about two references per flush, no \
-              matter how sophisticated the compiler\" — check where apl=2 lands above.");
+              matter how sophisticated the compiler\" — check where apl=2 lands above."
+    );
     Ok(())
 }
 

@@ -47,12 +47,14 @@ fn main() -> Result<(), ModelError> {
     }
 
     println!();
-    println!("Observations: slower memory compresses everything toward the bus \
+    println!(
+        "Observations: slower memory compresses everything toward the bus \
               limit but hurts the miss-heavy schemes first; bigger blocks make \
               every miss (and every Software-Flush write-back) dearer while \
               No-Cache's word-granularity throughs are untouched — which is why \
               its relative position improves even though its absolute power \
-              barely moves.");
+              barely moves."
+    );
     Ok(())
 }
 

@@ -29,7 +29,11 @@ fn main() -> Result<(), ModelError> {
         let mut cells = Vec::new();
         for scheme in schemes {
             let p = analyze_network(scheme, &workload, stages)?;
-            cells.push(format!("{:>9.1} ({:>4.1}%)", p.power(), p.utilization() * 100.0));
+            cells.push(format!(
+                "{:>9.1} ({:>4.1}%)",
+                p.power(),
+                p.utilization() * 100.0
+            ));
         }
         println!(
             "{:>6} {:>10} | {:>18} {:>18} {:>18}",
@@ -44,7 +48,10 @@ fn main() -> Result<(), ModelError> {
     println!();
     println!("The same workload on a snoopy bus (Dragon shown for reference):");
     let system = BusSystemModel::new();
-    println!("{:>6} | {:>10} {:>10} {:>10} {:>10}", "cpus", "Base", "Dragon", "SW-Flush", "No-Cache");
+    println!(
+        "{:>6} | {:>10} {:>10} {:>10} {:>10}",
+        "cpus", "Base", "Dragon", "SW-Flush", "No-Cache"
+    );
     for n in [2u32, 4, 8, 16, 32, 64] {
         let row: Vec<String> = Scheme::ALL
             .iter()
@@ -58,10 +65,12 @@ fn main() -> Result<(), ModelError> {
     }
 
     println!();
-    println!("Observations (paper §6.3): both software schemes scale with the \
+    println!(
+        "Observations (paper §6.3): both software schemes scale with the \
               network; Software-Flush is clearly more efficient than No-Cache \
               because its request *rate* is lower even though its messages are \
               longer — in a circuit-switched network the path-setup cost makes \
-              rate matter more than size. The bus saturates regardless of scheme.");
+              rate matter more than size. The bus saturates regardless of scheme."
+    );
     Ok(())
 }

@@ -39,8 +39,10 @@ fn main() -> Result<(), ModelError> {
         println!();
     }
 
-    println!("Reading the output: Base is the no-coherence upper bound; Dragon \
+    println!(
+        "Reading the output: Base is the no-coherence upper bound; Dragon \
               (snoopy hardware) stays close to it; the software schemes pay for \
-              every shared reference and saturate the bus as sharing grows.");
+              every shared reference and saturate the bus as sharing grows."
+    );
     Ok(())
 }

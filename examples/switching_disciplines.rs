@@ -65,9 +65,11 @@ fn main() -> Result<(), ModelError> {
     }
 
     println!();
-    println!("Reading the output: the packet/circuit gain is largest for No-Cache \
+    println!(
+        "Reading the output: the packet/circuit gain is largest for No-Cache \
               — its many one-word messages stop paying the 2n circuit setup — \
               confirming the paper's conjecture, though Software-Flush retains \
-              the absolute lead.");
+              the absolute lead."
+    );
     Ok(())
 }

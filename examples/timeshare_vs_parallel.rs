@@ -71,9 +71,11 @@ fn main() -> Result<(), ModelError> {
         println!();
     }
 
-    println!("Takeaway: with almost no sharing every scheme (even No-Cache) is fine, \
+    println!(
+        "Takeaway: with almost no sharing every scheme (even No-Cache) is fine, \
               so the cheapest hardware wins; as sharing grows, only snoopy hardware \
               keeps the bus machine scaling — the decision hinges on knowing your \
-              workload's shd/ls/apl, which is the paper's central point.");
+              workload's shd/ls/apl, which is the paper's central point."
+    );
     Ok(())
 }

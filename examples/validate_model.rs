@@ -61,7 +61,10 @@ fn main() -> Result<(), ModelError> {
             workload.opres(),
             workload.nshd()
         );
-        println!("{:>6} {:>12} {:>12} {:>8}", "cpus", "sim power", "model power", "err");
+        println!(
+            "{:>6} {:>12} {:>12} {:>8}",
+            "cpus", "sim power", "model power", "err"
+        );
         for n in 1..=max_cpus {
             let sub = trace.restrict_cpus(n);
             let report = simulate(&sub, &config);
@@ -78,8 +81,10 @@ fn main() -> Result<(), ModelError> {
     }
 
     println!();
-    println!("Expected: errors within ~10-25%, with the model's exponential-service \
+    println!(
+        "Expected: errors within ~10-25%, with the model's exponential-service \
               bus slightly overestimating contention at higher processor counts \
-              (the paper's Figure 1 shows the same bias).");
+              (the paper's Figure 1 shows the same bias)."
+    );
     Ok(())
 }

@@ -47,7 +47,10 @@ fn figure_4_to_6_power_ordering_degrades_with_sharing() {
     for scheme in ["No-Cache", "Software-Flush", "Dragon"] {
         let low = power("fig4", scheme);
         let high = power("fig6", scheme);
-        assert!(high < low, "{scheme}: fig6 ({high:.2}) must be below fig4 ({low:.2})");
+        assert!(
+            high < low,
+            "{scheme}: fig6 ({high:.2}) must be below fig4 ({low:.2})"
+        );
     }
     // No-Cache falls off a cliff; Dragon barely moves.
     let nc_drop = power("fig4", "No-Cache") / power("fig6", "No-Cache");
@@ -115,7 +118,10 @@ fn figure11_separates_the_two_performance_classes() {
     let u = |code: &str| f.series_named(code).unwrap().points[0].1;
     let reasonable = ["Bl", "Bm", "Bh", "Sl", "Sm", "Nl"];
     let poor = ["Sh", "Nm", "Nh"];
-    let min_reasonable = reasonable.iter().map(|c| u(c)).fold(f64::INFINITY, f64::min);
+    let min_reasonable = reasonable
+        .iter()
+        .map(|c| u(c))
+        .fold(f64::INFINITY, f64::min);
     let max_poor = poor.iter().map(|c| u(c)).fold(0.0, f64::max);
     assert!(
         min_reasonable > max_poor,
@@ -129,7 +135,11 @@ fn validation_figures_carry_model_and_sim_pairs() {
         let fig = run(id);
         let f = fig.as_figure().unwrap();
         let sims = f.series.iter().filter(|s| s.name.ends_with(" sim")).count();
-        let models = f.series.iter().filter(|s| s.name.ends_with(" model")).count();
+        let models = f
+            .series
+            .iter()
+            .filter(|s| s.name.ends_with(" model"))
+            .count();
         assert_eq!(sims, models, "{id}");
         assert!(sims >= 2, "{id} has {sims} sim series");
     }

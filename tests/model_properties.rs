@@ -30,9 +30,15 @@ fn dragon_beats_both_software_schemes_under_stress() {
     for level in [Level::Middle, Level::High] {
         let w = WorkloadParams::at_level(level);
         for n in [4u32, 8, 16] {
-            let dragon = analyze_bus(Scheme::Dragon, &w, &system(), n).unwrap().power();
-            let sf = analyze_bus(Scheme::SoftwareFlush, &w, &system(), n).unwrap().power();
-            let nc = analyze_bus(Scheme::NoCache, &w, &system(), n).unwrap().power();
+            let dragon = analyze_bus(Scheme::Dragon, &w, &system(), n)
+                .unwrap()
+                .power();
+            let sf = analyze_bus(Scheme::SoftwareFlush, &w, &system(), n)
+                .unwrap()
+                .power();
+            let nc = analyze_bus(Scheme::NoCache, &w, &system(), n)
+                .unwrap()
+                .power();
             assert!(dragon >= sf && dragon >= nc, "at {level}/{n}");
         }
     }
@@ -44,9 +50,15 @@ fn software_flush_brackets_between_dragon_and_no_cache_at_middle_apl() {
     // No-Cache" — at middle apl.
     let w = WorkloadParams::default();
     for n in [4u32, 8, 16] {
-        let dragon = analyze_bus(Scheme::Dragon, &w, &system(), n).unwrap().power();
-        let sf = analyze_bus(Scheme::SoftwareFlush, &w, &system(), n).unwrap().power();
-        let nc = analyze_bus(Scheme::NoCache, &w, &system(), n).unwrap().power();
+        let dragon = analyze_bus(Scheme::Dragon, &w, &system(), n)
+            .unwrap()
+            .power();
+        let sf = analyze_bus(Scheme::SoftwareFlush, &w, &system(), n)
+            .unwrap()
+            .power();
+        let nc = analyze_bus(Scheme::NoCache, &w, &system(), n)
+            .unwrap()
+            .power();
         assert!(nc <= sf && sf <= dragon, "n={n}: {nc} <= {sf} <= {dragon}");
     }
 }
@@ -61,8 +73,12 @@ fn software_flush_can_beat_dragon_with_generous_apl_and_low_mdshd() {
         .unwrap()
         .with_param(ParamId::Mdshd, 0.0)
         .unwrap();
-    let dragon = analyze_bus(Scheme::Dragon, &w, &system(), 16).unwrap().power();
-    let sf = analyze_bus(Scheme::SoftwareFlush, &w, &system(), 16).unwrap().power();
+    let dragon = analyze_bus(Scheme::Dragon, &w, &system(), 16)
+        .unwrap()
+        .power();
+    let sf = analyze_bus(Scheme::SoftwareFlush, &w, &system(), 16)
+        .unwrap()
+        .power();
     assert!(
         sf > dragon,
         "sf {sf:.3} should exceed dragon {dragon:.3} at apl=1000, mdshd=0"
@@ -92,7 +108,10 @@ fn network_power_grows_where_bus_power_stalls() {
     let net = network_power_curve(Scheme::SoftwareFlush, &w, 6).unwrap();
     let bus64 = bus.last().unwrap().power();
     let net64 = net.last().unwrap().power();
-    assert!(net64 > bus64, "network {net64:.2} vs saturated bus {bus64:.2}");
+    assert!(
+        net64 > bus64,
+        "network {net64:.2} vs saturated bus {bus64:.2}"
+    );
 }
 
 #[test]
@@ -107,15 +126,26 @@ fn network_keeps_software_flush_above_no_cache_at_realistic_apl() {
             .with_param(ParamId::Apl, middle_apl)
             .unwrap();
         for stages in [4u32, 8] {
-            let sf = analyze_network(Scheme::SoftwareFlush, &w, stages).unwrap().power();
-            let nc = analyze_network(Scheme::NoCache, &w, stages).unwrap().power();
+            let sf = analyze_network(Scheme::SoftwareFlush, &w, stages)
+                .unwrap()
+                .power();
+            let nc = analyze_network(Scheme::NoCache, &w, stages)
+                .unwrap()
+                .power();
             assert!(sf >= nc, "{level}/{stages}: sf {sf:.2} vs nc {nc:.2}");
         }
     }
     let degenerate = WorkloadParams::at_level(Level::High); // apl = 1
-    let sf = analyze_network(Scheme::SoftwareFlush, &degenerate, 8).unwrap().power();
-    let nc = analyze_network(Scheme::NoCache, &degenerate, 8).unwrap().power();
-    assert!(sf < nc, "at apl = 1, flush+miss must cost more than throughs");
+    let sf = analyze_network(Scheme::SoftwareFlush, &degenerate, 8)
+        .unwrap()
+        .power();
+    let nc = analyze_network(Scheme::NoCache, &degenerate, 8)
+        .unwrap()
+        .power();
+    assert!(
+        sf < nc,
+        "at apl = 1, flush+miss must cost more than throughs"
+    );
 }
 
 #[test]

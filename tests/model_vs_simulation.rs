@@ -50,7 +50,11 @@ fn base_model_tracks_simulation_within_15_percent() {
 fn dragon_model_tracks_simulation_within_20_percent() {
     for cpus in [1u16, 2, 4] {
         let err = relative_error(ProtocolKind::Dragon, cpus, 103);
-        assert!(err.abs() < 0.20, "dragon at {cpus} cpus: {:.1}%", err * 100.0);
+        assert!(
+            err.abs() < 0.20,
+            "dragon at {cpus} cpus: {:.1}%",
+            err * 100.0
+        );
     }
 }
 
@@ -58,7 +62,11 @@ fn dragon_model_tracks_simulation_within_20_percent() {
 fn no_cache_model_tracks_simulation_within_25_percent() {
     for cpus in [1u16, 2, 4] {
         let err = relative_error(ProtocolKind::NoCache, cpus, 107);
-        assert!(err.abs() < 0.25, "no-cache at {cpus} cpus: {:.1}%", err * 100.0);
+        assert!(
+            err.abs() < 0.25,
+            "no-cache at {cpus} cpus: {:.1}%",
+            err * 100.0
+        );
     }
 }
 
@@ -68,7 +76,11 @@ fn software_flush_model_tracks_simulation_within_30_percent() {
     // could not validate it at all); we hold it to 30%.
     for cpus in [1u16, 2, 4] {
         let err = relative_error(ProtocolKind::SoftwareFlush, cpus, 109);
-        assert!(err.abs() < 0.30, "sw-flush at {cpus} cpus: {:.1}%", err * 100.0);
+        assert!(
+            err.abs() < 0.30,
+            "sw-flush at {cpus} cpus: {:.1}%",
+            err * 100.0
+        );
     }
 }
 
@@ -98,7 +110,11 @@ fn simulated_scheme_ordering_matches_model_ordering() {
     let seed = 127;
     let mut powers_sim = Vec::new();
     let mut powers_model = Vec::new();
-    for protocol in [ProtocolKind::Base, ProtocolKind::Dragon, ProtocolKind::NoCache] {
+    for protocol in [
+        ProtocolKind::Base,
+        ProtocolKind::Dragon,
+        ProtocolKind::NoCache,
+    ] {
         let trace = trace_for(protocol, 4, seed);
         let config = SimConfig::new(protocol);
         let report = simulate(&trace, &config);
@@ -123,8 +139,14 @@ fn measured_parameters_are_stable_across_processor_counts() {
     // processors increases" — the property that makes one measurement
     // usable for the whole curve.
     let config = SimConfig::new(ProtocolKind::Dragon);
-    let w2 = measure_workload(&Preset::Pops.config(2, INSTRUCTIONS, 131).generate(), &config);
-    let w4 = measure_workload(&Preset::Pops.config(4, INSTRUCTIONS, 131).generate(), &config);
+    let w2 = measure_workload(
+        &Preset::Pops.config(2, INSTRUCTIONS, 131).generate(),
+        &config,
+    );
+    let w4 = measure_workload(
+        &Preset::Pops.config(4, INSTRUCTIONS, 131).generate(),
+        &config,
+    );
     assert!((w2.ls() - w4.ls()).abs() < 0.02);
     assert!((w2.msdat() - w4.msdat()).abs() < 0.02);
     assert!((w2.mains() - w4.mains()).abs() < 0.02);
@@ -167,7 +189,10 @@ fn calibrated_workload_closes_the_full_loop() {
 fn flush_traces_change_software_flush_but_not_base() {
     // Base ignores flush records entirely; Software-Flush pays for them.
     let mut b = SynthConfig::builder();
-    b.cpus(2).instructions_per_cpu(20_000).seed(137).emit_flushes(true);
+    b.cpus(2)
+        .instructions_per_cpu(20_000)
+        .seed(137)
+        .emit_flushes(true);
     let with_flushes = b.build().generate();
 
     let base = simulate(&with_flushes, &SimConfig::new(ProtocolKind::Base));

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 
-use swcc_core::network::{propagate, solve};
+use swcc_core::network::{propagate, solve, SolveOptions, WarmSolver};
 use swcc_core::prelude::*;
-use swcc_core::queue::machine_repairman;
+use swcc_core::queue::{machine_repairman, machine_repairman_sweep};
 use swcc_sim::cache::{Cache, LineState};
 use swcc_trace::BlockAddr;
 
@@ -23,21 +23,23 @@ fn workloads() -> impl Strategy<Value = WorkloadParams> {
         0.0..=1.0f64,   // mdshd
         (0.0..=1.0f64, 0.0..=1.0f64, 0.0..=16.0f64),
     )
-        .prop_map(|(ls, msdat, mains, md, shd, wr, apl, mdshd, (oclean, opres, nshd))| {
-            let mut b = WorkloadParams::builder();
-            b.ls(ls)
-                .msdat(msdat)
-                .mains(mains)
-                .md(md)
-                .shd(shd)
-                .wr(wr)
-                .apl(apl)
-                .mdshd(mdshd)
-                .oclean(oclean)
-                .opres(opres)
-                .nshd(nshd);
-            b.build().expect("strategy stays in-domain")
-        })
+        .prop_map(
+            |(ls, msdat, mains, md, shd, wr, apl, mdshd, (oclean, opres, nshd))| {
+                let mut b = WorkloadParams::builder();
+                b.ls(ls)
+                    .msdat(msdat)
+                    .mains(mains)
+                    .md(md)
+                    .shd(shd)
+                    .wr(wr)
+                    .apl(apl)
+                    .mdshd(mdshd)
+                    .oclean(oclean)
+                    .opres(opres)
+                    .nshd(nshd);
+                b.build().expect("strategy stays in-domain")
+            },
+        )
 }
 
 /// A strategy over workloads confined to the paper's Table 7
@@ -58,21 +60,23 @@ fn table7_workloads() -> impl Strategy<Value = WorkloadParams> {
         r(ParamId::Mdshd),
         (r(ParamId::Oclean), r(ParamId::Opres), r(ParamId::Nshd)),
     )
-        .prop_map(|(ls, msdat, mains, md, shd, wr, apl, mdshd, (oclean, opres, nshd))| {
-            let mut b = WorkloadParams::builder();
-            b.ls(ls)
-                .msdat(msdat)
-                .mains(mains)
-                .md(md)
-                .shd(shd)
-                .wr(wr)
-                .apl(apl)
-                .mdshd(mdshd)
-                .oclean(oclean)
-                .opres(opres)
-                .nshd(nshd);
-            b.build().expect("Table 7 envelope is in-domain")
-        })
+        .prop_map(
+            |(ls, msdat, mains, md, shd, wr, apl, mdshd, (oclean, opres, nshd))| {
+                let mut b = WorkloadParams::builder();
+                b.ls(ls)
+                    .msdat(msdat)
+                    .mains(mains)
+                    .md(md)
+                    .shd(shd)
+                    .wr(wr)
+                    .apl(apl)
+                    .mdshd(mdshd)
+                    .oclean(oclean)
+                    .opres(opres)
+                    .nshd(nshd);
+                b.build().expect("Table 7 envelope is in-domain")
+            },
+        )
 }
 
 proptest! {
@@ -124,6 +128,69 @@ proptest! {
             prop_assert!(p.power() <= f64::from(n) + 1e-9);
             prop_assert!((0.0..=1.0).contains(&p.bus_utilization()));
         }
+    }
+
+    #[test]
+    fn bus_sweep_matches_pointwise_analysis(w in workloads(), n in 1u32..48) {
+        // The batched sweep must agree with the pointwise API within
+        // 1e-12 at every population. (It is in fact bit-identical — the
+        // sweep performs the same f64 operations in the same order — so
+        // the comparison below is exact, which is stronger.)
+        let sys = BusSystemModel::new();
+        for s in Scheme::ALL {
+            let sweep = analyze_bus_sweep(s, &w, &sys, n).unwrap();
+            prop_assert_eq!(sweep.len(), n as usize);
+            for (k, swept) in (1..=n).zip(&sweep) {
+                let pointwise = analyze_bus(s, &w, &sys, k).unwrap();
+                prop_assert!(
+                    (swept.power() - pointwise.power()).abs() <= 1e-12,
+                    "{s} at n={k}: swept {} vs pointwise {}",
+                    swept.power(),
+                    pointwise.power()
+                );
+                prop_assert_eq!(swept, &pointwise, "{} at n={}", s, k);
+            }
+        }
+    }
+
+    #[test]
+    fn mva_sweep_matches_pointwise_solutions(
+        n in 1u32..64,
+        service in 0.0..5.0f64,
+        think in 0.5..50.0f64,
+    ) {
+        let sweep = machine_repairman_sweep(n, service, think).unwrap();
+        for k in 1..=n {
+            let point = machine_repairman(k, service, think).unwrap();
+            prop_assert_eq!(sweep.get(k).unwrap(), &point, "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn warm_patel_solves_match_cold_within_tolerance(
+        rate in 0.001..1.0f64,
+        size in 0.0..40.0f64,
+        stages in 0u32..10,
+        hint in 0.0..=1.0f64,
+    ) {
+        // A warm start (any hint, even a bad one) must land on the same
+        // fixed point as a cold solve, within the shared tolerance.
+        let cold = solve(rate, size, stages).unwrap();
+        let opts = SolveOptions {
+            hint: Some(hint),
+            ..SolveOptions::default()
+        };
+        let warm = swcc_core::network::solve_with(rate, size, stages, opts).unwrap();
+        prop_assert!(
+            (warm.think_fraction() - cold.think_fraction()).abs() <= 1e-9,
+            "hinted {} vs cold {}",
+            warm.think_fraction(),
+            cold.think_fraction()
+        );
+        let mut solver = WarmSolver::new();
+        let a = solver.solve(rate, size, stages).unwrap();
+        let b = solver.solve(rate, size, stages).unwrap();
+        prop_assert!((a.think_fraction() - b.think_fraction()).abs() <= 1e-9);
     }
 
     #[test]

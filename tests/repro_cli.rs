@@ -27,7 +27,10 @@ fn single_table_renders() {
 
 #[test]
 fn model_figures_render_with_plot_and_data() {
-    let out = repro().args(["fig5", "--quick"]).output().expect("spawn repro");
+    let out = repro()
+        .args(["fig5", "--quick"])
+        .output()
+        .expect("spawn repro");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("legend:"));
@@ -48,6 +51,70 @@ fn json_output_parses_and_carries_ids() {
     assert_eq!(arr[0][0], "table1");
     assert_eq!(arr[1][0], "fig7");
     assert!(arr[1][1]["Figure"]["series"].is_array());
+}
+
+#[test]
+fn parallel_jobs_preserve_request_order_and_record_timings() {
+    let out = repro()
+        .args(["table1", "fig4", "fig5", "fig6", "--quick", "--jobs", "4"])
+        .output()
+        .expect("spawn repro --jobs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let positions: Vec<usize> = ["=== table1", "=== fig4", "=== fig5", "=== fig6"]
+        .iter()
+        .map(|h| stdout.find(h).unwrap_or_else(|| panic!("missing {h}")))
+        .collect();
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "output must follow request order regardless of completion order"
+    );
+    assert!(
+        stdout.matches("runner: completed in").count() >= 4,
+        "each artifact must carry its wall-clock duration"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("4 experiment(s) with 4 job(s)"));
+}
+
+#[test]
+fn jobs_zero_uses_available_parallelism() {
+    let out = repro()
+        .args(["table1", "table7", "--jobs=0"])
+        .output()
+        .expect("spawn repro --jobs=0");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("with 0 job(s)"),
+        "--jobs 0 must resolve to a positive worker count: {stderr}"
+    );
+}
+
+#[test]
+fn all_flag_json_covers_registry() {
+    let out = repro()
+        .args(["--all", "--quick", "--jobs", "0", "--json"])
+        .output()
+        .expect("spawn repro --all");
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON artifact array");
+    let arr = parsed.as_array().expect("array of [id, artifact]");
+    assert_eq!(arr.len(), swcc_experiments::EXPERIMENTS.len());
+    for (i, e) in swcc_experiments::EXPERIMENTS.iter().enumerate() {
+        assert_eq!(arr[i][0], e.id, "JSON order must match registry order");
+    }
+}
+
+#[test]
+fn bad_jobs_value_fails_with_usage() {
+    let out = repro()
+        .args(["table1", "--jobs", "many"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
 }
 
 #[test]

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — backed by a simple median-of-samples wall-clock harness
+//! instead of criterion's full statistical machinery.
+//!
+//! Numbers print as `ns/iter`; there is no HTML report, no outlier
+//! analysis, and no baseline comparison. Requested `measurement_time`s
+//! are honored up to a 2-second-per-benchmark cap so `cargo bench` on
+//! the full suite stays tractable; set `CRITERION_MEASUREMENT_CAP_MS`
+//! to raise it.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on per-benchmark measurement time, unless overridden by
+/// the `CRITERION_MEASUREMENT_CAP_MS` environment variable.
+const DEFAULT_CAP: Duration = Duration::from_secs(2);
+
+fn measurement_cap() -> Duration {
+    std::env::var("CRITERION_MEASUREMENT_CAP_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(DEFAULT_CAP, Duration::from_millis)
+}
+
+/// Benchmark settings shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            throughput: None,
+        }
+    }
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs a single benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, &self.settings, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+        }
+    }
+}
+
+/// A named collection of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time (capped — see crate docs).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling a
+    /// throughput line in the output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<I: Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.settings, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(&full, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in this stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id rendered as `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Amount of work performed by one iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the harness asks.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, mut f: F) {
+    // Warm up and estimate the cost of one iteration.
+    let warm_deadline = Instant::now() + settings.warm_up_time.min(measurement_cap());
+    let mut warm_iters = 0u64;
+    let mut warm_elapsed = Duration::ZERO;
+    let mut probe = 1u64;
+    while Instant::now() < warm_deadline {
+        let mut b = Bencher {
+            iters: probe,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += probe;
+        warm_elapsed += b.elapsed;
+        probe = probe.saturating_mul(2).min(1 << 20);
+    }
+    let per_iter = if warm_iters == 0 {
+        Duration::from_nanos(1)
+    } else {
+        (warm_elapsed / u32::try_from(warm_iters.min(u64::from(u32::MAX))).unwrap_or(1))
+            .max(Duration::from_nanos(1))
+    };
+
+    // Split the (capped) measurement budget into `sample_size` samples.
+    let budget = settings.measurement_time.min(measurement_cap());
+    let per_sample = budget / u32::try_from(settings.sample_size).unwrap_or(1);
+    let iters_per_sample =
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 32) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+
+    print!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    );
+    if let Some(tp) = settings.throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if median > 0.0 {
+            let rate = count as f64 / (median * 1e-9);
+            print!("  thrpt: {rate:.3e} {unit}/s");
+        }
+    }
+    println!();
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each listed group (ignores cargo's argv).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_cheap_routine() {
+        std::env::set_var("CRITERION_MEASUREMENT_CAP_MS", "50");
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut group = c.benchmark_group("grouped");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 8u32), &8u32, |b, &n| {
+            b.iter(|| (0..u64::from(n)).product::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,400 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — non-generic structs (named, tuple, unit)
+//! and enums (unit, tuple, and struct variants) — by parsing the raw
+//! token stream directly, since `syn`/`quote` are unavailable offline.
+//!
+//! Representations match real serde's defaults:
+//!
+//! * named struct   → JSON object keyed by field name
+//! * newtype struct → the inner value
+//! * tuple struct   → JSON array
+//! * unit variant   → the variant name as a string
+//! * data variant   → externally tagged: `{"Variant": ...}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives the stand-in `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the stand-in `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&parsed)
+    } else {
+        gen_deserialize(&parsed)
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes, visibility, and modifiers until `struct` / `enum`.
+    let keyword = loop {
+        match tokens.get(i) {
+            None => return Err("expected `struct` or `enum`".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break "struct";
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break "enum";
+            }
+            Some(_) => i += 1,
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let kind = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_top_level(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            _ => return Err("unsupported struct body".into()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("expected enum body".into()),
+        }
+    };
+    Ok(Input { name, kind })
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility, and types (tracking `<...>` depth so commas inside
+/// generic types do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments included).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field, found {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated entries (for tuple fields).
+fn count_top_level(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut last_was_comma = false;
+    for t in stream {
+        saw_token = true;
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_token {
+        0
+    } else if last_was_comma {
+        count
+    } else {
+        count + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Shape)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_top_level(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(","))
+        }
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+        }
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from({v:?}), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({v:?}), ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(",");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({v:?}), ::serde::Value::Object(::std::vec![{}]))]),",
+                            entries.join(",")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => named_fields_expr(name, fields, "__value"),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => tuple_expr(name, *n, "__value"),
+        Kind::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| {
+                    let expr = match shape {
+                        Shape::Unit => return None,
+                        Shape::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?))"
+                        ),
+                        Shape::Tuple(n) => tuple_expr(&format!("{name}::{v}"), *n, "__inner"),
+                        Shape::Named(fields) => {
+                            named_fields_expr(&format!("{name}::{v}"), fields, "__inner")
+                        }
+                    };
+                    Some(format!("{v:?} => {{ {expr} }},"))
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant {{__other:?}} for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant {{__other:?}} for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"expected externally tagged enum\")),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_fields_expr(ctor: &str, fields: &[String], value: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({value}.get_field({f:?})\
+                     .unwrap_or(&::serde::Value::Null))\
+                     .map_err(|__e| ::serde::DeError::custom(\
+                         ::std::format!(\"field {f}: {{__e}}\")))?"
+            )
+        })
+        .collect();
+    format!(
+        "::std::result::Result::Ok({ctor} {{ {} }})",
+        inits.join(",")
+    )
+}
+
+fn tuple_expr(ctor: &str, n: usize, value: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "::serde::Deserialize::from_value({value}.get_index({i})\
+                     .unwrap_or(&::serde::Value::Null))?"
+            )
+        })
+        .collect();
+    format!("::std::result::Result::Ok({ctor}({}))", items.join(","))
+}

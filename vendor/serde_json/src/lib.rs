@@ -1,0 +1,93 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Thin facade over the text reader/writer in the `serde` stand-in
+//! ([`serde::json`]): `to_string`/`to_string_pretty` serialize any
+//! [`serde::Serialize`] into compact or 2-space-indented JSON, and
+//! `from_str`/`from_slice` parse JSON into any [`serde::Deserialize`]
+//! (including [`Value`] itself for dynamic inspection).
+
+pub use serde::Value;
+
+use std::fmt;
+
+/// Error produced by JSON serialization or deserialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this stand-in (non-finite floats serialize as `null`);
+/// the `Result` mirrors serde_json's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_json(&value.to_value(), false))
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors serde_json.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_json(&value.to_value(), true))
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::from_json(text)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON bytes into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error { msg: e.to_string() })?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v: Value = from_str(r#"{"a":[1,2.5,"x"],"b":null}"#).unwrap();
+        assert!(v["a"].is_array());
+        assert_eq!(v["a"][2], "x");
+        let text = to_string(&v).unwrap();
+        let again: Value = from_str(&text).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let v: Vec<(f64, f64)> = from_str("[[1,2],[3.5,4]]").unwrap();
+        assert_eq!(v, vec![(1.0, 2.0), (3.5, 4.0)]);
+        assert_eq!(to_string(&v).unwrap(), "[[1,2],[3.5,4]]");
+    }
+}
