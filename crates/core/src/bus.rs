@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::demand::{scheme_demand, Demand};
 use crate::error::Result;
+use crate::metrics;
 use crate::queue::{machine_repairman, machine_repairman_sweep};
 use crate::scheme::Scheme;
 use crate::system::BusSystemModel;
@@ -119,6 +120,9 @@ pub fn analyze_bus(
 ) -> Result<BusPerformance> {
     let demand = scheme_demand(scheme, workload, system)?;
     let mva = machine_repairman(processors, demand.interconnect(), demand.think_time())?;
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::BUS_ANALYSES, 1);
+    }
     Ok(BusPerformance {
         scheme,
         processors,
@@ -169,6 +173,10 @@ pub fn analyze_bus_sweep(
     let demand = scheme_demand(scheme, workload, system)?;
     let sweep =
         machine_repairman_sweep(max_processors, demand.interconnect(), demand.think_time())?;
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::BUS_SWEEPS, 1);
+        swcc_obs::counter_add(metrics::BUS_SWEEP_POINTS, sweep.points().len() as u64);
+    }
     Ok(sweep
         .points()
         .iter()

@@ -67,6 +67,7 @@ pub mod demand;
 pub mod directory;
 mod error;
 pub mod invalidate;
+pub mod metrics;
 pub mod network;
 pub mod queue;
 pub mod scheme;

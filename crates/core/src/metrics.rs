@@ -1,0 +1,188 @@
+//! Metric names emitted by the model layer, and their registration.
+//!
+//! The solvers and sweep engines report how much numerical work they do
+//! through the `swcc-obs` dispatch functions — residual evaluations,
+//! warm-start reuses, bracket fallbacks, points computed per sweep.
+//! Nothing is recorded unless a recorder is installed
+//! ([`swcc_obs::install`]) or a capture span is active
+//! ([`swcc_obs::capture`]); the disabled path is two relaxed atomic
+//! loads per instrumented call site, which benchmarks cannot
+//! distinguish from noise.
+//!
+//! [`register`] adds every name to a [`RegistryBuilder`] so binaries
+//! (e.g. `repro --metrics`) can build a registry that covers the whole
+//! model layer:
+//!
+//! ```
+//! let registry = swcc_core::metrics::register(swcc_obs::RegistryBuilder::new()).build();
+//! assert_eq!(registry.counter_value(swcc_core::metrics::SOLVER_SOLVES), Some(0));
+//! ```
+
+use swcc_obs::RegistryBuilder;
+
+/// Newton/bisection fixed-point solves completed ([`crate::network::patel`]).
+pub const SOLVER_SOLVES: &str = "core.solver.solves";
+/// Residual function evaluations across all Patel solves (legacy
+/// bisection included).
+pub const SOLVER_RESIDUAL_EVALS: &str = "core.solver.residual_evals";
+/// Solves that started from a warm-start hint (a nearby root).
+pub const SOLVER_WARM_REUSES: &str = "core.solver.warm_start_reuses";
+/// Newton steps that left the root bracket and fell back to its
+/// midpoint (the bisection safety net).
+pub const SOLVER_BRACKET_FALLBACKS: &str = "core.solver.bracket_fallbacks";
+/// Solves taken by the legacy fixed-200-step bisection path
+/// ([`crate::network::patel::solve`]).
+pub const SOLVER_LEGACY_BISECTIONS: &str = "core.solver.legacy_bisections";
+/// Distribution of residual evaluations per guarded-Newton solve.
+pub const SOLVER_ITERATIONS: &str = "core.solver.iterations";
+
+/// Pointwise machine-repairman solves ([`crate::queue::machine_repairman`]).
+pub const MVA_SOLVES: &str = "core.mva.solves";
+/// Incremental MVA sweeps run ([`crate::queue::machine_repairman_sweep`]).
+pub const MVA_SWEEPS: &str = "core.mva.sweeps";
+/// Populations solved by sweep reuse — each point here was produced by
+/// extending one recurrence instead of a fresh pointwise solve.
+pub const MVA_SWEEP_POINTS: &str = "core.mva.sweep_points";
+
+/// Pointwise bus analyses ([`crate::bus::analyze_bus`]).
+pub const BUS_ANALYSES: &str = "core.bus.analyses";
+/// Whole-curve bus sweeps ([`crate::bus::analyze_bus_sweep`]).
+pub const BUS_SWEEPS: &str = "core.bus.sweeps";
+/// Bus operating points produced by sweep reuse.
+pub const BUS_SWEEP_POINTS: &str = "core.bus.sweep_points";
+
+/// Pointwise network analyses ([`crate::network::analyze_network`]).
+pub const NETWORK_ANALYSES: &str = "core.network.analyses";
+/// Warm-started network power curves ([`crate::network::network_power_curve`]).
+pub const NETWORK_CURVES: &str = "core.network.curves";
+/// Network operating points produced inside warm-started curves.
+pub const NETWORK_CURVE_POINTS: &str = "core.network.curve_points";
+
+/// Registers every model-layer metric on the builder.
+#[must_use]
+pub fn register(builder: RegistryBuilder) -> RegistryBuilder {
+    builder
+        .counter(SOLVER_SOLVES)
+        .counter(SOLVER_RESIDUAL_EVALS)
+        .counter(SOLVER_WARM_REUSES)
+        .counter(SOLVER_BRACKET_FALLBACKS)
+        .counter(SOLVER_LEGACY_BISECTIONS)
+        .histogram(
+            SOLVER_ITERATIONS,
+            &[
+                1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 128.0, 200.0,
+            ],
+        )
+        .counter(MVA_SOLVES)
+        .counter(MVA_SWEEPS)
+        .counter(MVA_SWEEP_POINTS)
+        .counter(BUS_ANALYSES)
+        .counter(BUS_SWEEPS)
+        .counter(BUS_SWEEP_POINTS)
+        .counter(NETWORK_ANALYSES)
+        .counter(NETWORK_CURVES)
+        .counter(NETWORK_CURVE_POINTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::analyze_bus_sweep;
+    use crate::network::{network_power_curve, solve, WarmSolver};
+    use crate::queue::machine_repairman;
+    use crate::scheme::Scheme;
+    use crate::system::BusSystemModel;
+    use crate::workload::WorkloadParams;
+
+    #[test]
+    fn registry_covers_every_name() {
+        let registry = register(RegistryBuilder::new()).build();
+        for name in [
+            SOLVER_SOLVES,
+            SOLVER_RESIDUAL_EVALS,
+            SOLVER_WARM_REUSES,
+            SOLVER_BRACKET_FALLBACKS,
+            SOLVER_LEGACY_BISECTIONS,
+            MVA_SOLVES,
+            MVA_SWEEPS,
+            MVA_SWEEP_POINTS,
+            BUS_ANALYSES,
+            BUS_SWEEPS,
+            BUS_SWEEP_POINTS,
+            NETWORK_ANALYSES,
+            NETWORK_CURVES,
+            NETWORK_CURVE_POINTS,
+        ] {
+            assert_eq!(registry.counter_value(name), Some(0), "{name}");
+        }
+        assert!(registry.histogram(SOLVER_ITERATIONS).is_some());
+    }
+
+    #[test]
+    fn warm_sweep_attributes_solver_work() {
+        let w = WorkloadParams::default();
+        let (curve, span) =
+            swcc_obs::capture(|| network_power_curve(Scheme::SoftwareFlush, &w, 8).unwrap());
+        assert_eq!(curve.len(), 9);
+        assert_eq!(span.counter(NETWORK_CURVES), Some(1));
+        assert_eq!(span.counter(NETWORK_CURVE_POINTS), Some(9));
+        // Every stage has nonzero demand, so each point is one solve.
+        assert_eq!(span.counter(SOLVER_SOLVES), Some(9));
+        assert!(span.counter(SOLVER_RESIDUAL_EVALS).unwrap_or(0) >= 9);
+        // Points after the first are warm-started.
+        assert_eq!(span.counter(SOLVER_WARM_REUSES), Some(8));
+        let iters = span.histogram(SOLVER_ITERATIONS).unwrap();
+        assert_eq!(iters.count, 9);
+        assert_eq!(
+            iters.sum,
+            span.counter(SOLVER_RESIDUAL_EVALS).unwrap() as f64
+        );
+    }
+
+    #[test]
+    fn legacy_bisection_reports_fixed_eval_budget() {
+        let ((), span) = swcc_obs::capture(|| {
+            solve(0.03, 20.0, 8).unwrap();
+        });
+        assert_eq!(span.counter(SOLVER_LEGACY_BISECTIONS), Some(1));
+        // One bracket check plus 200 fixed halvings.
+        assert_eq!(span.counter(SOLVER_RESIDUAL_EVALS), Some(201));
+        assert_eq!(span.counter(SOLVER_SOLVES), None, "legacy path is separate");
+    }
+
+    #[test]
+    fn zero_demand_solves_do_no_solver_work() {
+        let ((), span) = swcc_obs::capture(|| {
+            WarmSolver::new().solve(0.0, 20.0, 8).unwrap();
+        });
+        assert_eq!(span.counter(SOLVER_SOLVES), None);
+        assert_eq!(span.counter(SOLVER_RESIDUAL_EVALS), None);
+    }
+
+    #[test]
+    fn bus_sweep_counts_points_and_mva_reuse() {
+        let w = WorkloadParams::default();
+        let sys = BusSystemModel::new();
+        let (curve, span) =
+            swcc_obs::capture(|| analyze_bus_sweep(Scheme::Dragon, &w, &sys, 32).unwrap());
+        assert_eq!(curve.len(), 32);
+        assert_eq!(span.counter(BUS_SWEEPS), Some(1));
+        assert_eq!(span.counter(BUS_SWEEP_POINTS), Some(32));
+        assert_eq!(span.counter(MVA_SWEEPS), Some(1));
+        assert_eq!(span.counter(MVA_SWEEP_POINTS), Some(32));
+        assert_eq!(
+            span.counter(MVA_SOLVES),
+            None,
+            "sweep avoids pointwise solves"
+        );
+    }
+
+    #[test]
+    fn pointwise_mva_counts_solves() {
+        let ((), span) = swcc_obs::capture(|| {
+            machine_repairman(16, 0.37, 1.2).unwrap();
+            machine_repairman(16, 0.0, 1.2).unwrap();
+        });
+        assert_eq!(span.counter(MVA_SOLVES), Some(2));
+    }
+}

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::demand::{scheme_demand, Demand};
 use crate::error::{ModelError, Result};
+use crate::metrics;
 use crate::scheme::Scheme;
 use crate::system::NetworkSystemModel;
 use crate::workload::WorkloadParams;
@@ -128,6 +129,9 @@ pub fn analyze_network(
     let system = NetworkSystemModel::new(stages);
     let demand = scheme_demand(scheme, workload, &system)?;
     let point = patel::solve(demand.transaction_rate(), demand.transaction_size(), stages)?;
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::NETWORK_ANALYSES, 1);
+    }
     Ok(NetworkPerformance {
         scheme,
         stages,
@@ -162,7 +166,7 @@ pub fn network_power_curve(
         });
     }
     let mut solver = patel::WarmSolver::new();
-    (0..=max_stages)
+    let curve: Result<Vec<NetworkPerformance>> = (0..=max_stages)
         .map(|stages| {
             let system = NetworkSystemModel::new(stages);
             let demand = scheme_demand(scheme, workload, &system)?;
@@ -175,7 +179,13 @@ pub fn network_power_curve(
                 point,
             })
         })
-        .collect()
+        .collect();
+    let curve = curve?;
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::NETWORK_CURVES, 1);
+        swcc_obs::counter_add(metrics::NETWORK_CURVE_POINTS, curve.len() as u64);
+    }
+    Ok(curve)
 }
 
 #[cfg(test)]

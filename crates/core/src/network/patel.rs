@@ -28,6 +28,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ModelError, Result};
+use crate::metrics;
 
 /// Propagates an offered load through `stages` stages of 2×2 crossbars.
 ///
@@ -147,6 +148,11 @@ pub fn solve(rate: f64, size: f64, stages: u32) -> Result<OperatingPoint> {
         } else {
             hi = mid;
         }
+    }
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::SOLVER_LEGACY_BISECTIONS, 1);
+        // One bracket check plus the fixed 200 halvings.
+        swcc_obs::counter_add(metrics::SOLVER_RESIDUAL_EVALS, 201);
     }
     let u = 0.5 * (lo + hi);
     Ok(OperatingPoint {
@@ -271,11 +277,14 @@ fn solve_inner(
     // hint — the root of a nearby operating point — starts closer still
     // and skips the approach iterations.
     let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
-    let mut x = match options.hint {
-        Some(h) if h > 0.0 && h < 1.0 => h,
-        _ => 1.0 / (1.0 + demand),
+    let warm = matches!(options.hint, Some(h) if h > 0.0 && h < 1.0);
+    let mut x = if warm {
+        options.hint.unwrap_or_default()
+    } else {
+        1.0 / (1.0 + demand)
     };
     let mut iterations = 0u32;
+    let mut fallbacks = 0u64;
     let u = loop {
         let (f, slope) = residual_and_slope(x);
         iterations += 1;
@@ -295,9 +304,21 @@ fn solve_inner(
         x = if newton > lo && newton < hi {
             newton
         } else {
+            fallbacks += 1;
             0.5 * (lo + hi)
         };
     };
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::SOLVER_SOLVES, 1);
+        swcc_obs::counter_add(metrics::SOLVER_RESIDUAL_EVALS, u64::from(iterations));
+        swcc_obs::observe(metrics::SOLVER_ITERATIONS, f64::from(iterations));
+        if warm {
+            swcc_obs::counter_add(metrics::SOLVER_WARM_REUSES, 1);
+        }
+        if fallbacks > 0 {
+            swcc_obs::counter_add(metrics::SOLVER_BRACKET_FALLBACKS, fallbacks);
+        }
+    }
     Ok((
         OperatingPoint {
             stages,

@@ -25,6 +25,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ModelError, Result};
+use crate::metrics;
 
 /// The solution of the machine-repairman model for a given population.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -139,6 +140,9 @@ pub fn machine_repairman(customers: u32, service: f64, think: f64) -> Result<Mva
             name: "service+think",
             reason: "service and think time cannot both be zero",
         });
+    }
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::MVA_SOLVES, 1);
     }
     if service == 0.0 {
         return Ok(MvaSolution {
@@ -262,6 +266,10 @@ pub fn machine_repairman_sweep(max_customers: u32, service: f64, think: f64) -> 
             name: "service+think",
             reason: "service and think time cannot both be zero",
         });
+    }
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::MVA_SWEEPS, 1);
+        swcc_obs::counter_add(metrics::MVA_SWEEP_POINTS, u64::from(max_customers));
     }
     let mut points = Vec::with_capacity(max_customers as usize);
     if service == 0.0 {

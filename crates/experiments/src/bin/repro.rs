@@ -2,26 +2,36 @@
 //!
 //! ```text
 //! repro list                                  list experiment ids and titles
-//! repro all [--quick] [--json] [--jobs N]     run every experiment
-//! repro <id>... [--quick] [--json] [--jobs N] run selected experiments
+//! repro all [options]                         run every experiment
+//! repro <id>... [options]                     run selected experiments
+//! repro check-manifest <path>                 validate a run manifest
+//!
+//! options:
+//!   --quick            shorten the synthetic traces of simulation-backed
+//!                      experiments
+//!   --json             emit artifacts as one JSON array instead of text
+//!   --jobs N           run up to N experiments concurrently (0 = one per
+//!                      available core)
+//!   --metrics          print solver/runner metric totals to stderr after
+//!                      the run
+//!   --manifest PATH    write a schema-versioned JSON run manifest
 //! ```
 //!
-//! `--all` is accepted as a flag alias for the `all` subcommand.
-//! `--quick` shortens the synthetic traces used by the
-//! simulation-backed experiments. `--json` emits the artifacts as one
-//! JSON array (for plotting scripts and regression tooling) instead of
-//! rendered text. `--jobs N` runs up to `N` experiments concurrently
-//! (`0` = one per available core); output order always matches request
-//! order, and every artifact carries a `runner:` footnote with its
-//! wall-clock duration.
+//! `--all` is accepted as a flag alias for the `all` subcommand; it
+//! cannot be combined with explicit ids. Repeated ids run once, repeated
+//! flags apply once (for `--jobs`/`--manifest`, the last value wins).
+//! Output order always matches request order, and every artifact carries
+//! a `runner:` footnote with its wall-clock duration. Observation
+//! (`--metrics`/`--manifest`) never changes the artifacts themselves.
 
 use std::io::Write;
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use swcc_experiments::manifest::{ManifestOptions, RunManifest};
 use swcc_experiments::registry::{find, RunOptions, EXPERIMENTS};
-use swcc_experiments::runner::{default_jobs, run_selected};
+use swcc_experiments::runner::{self, default_jobs, run_selected_observed};
 
 /// Prints to stdout, exiting quietly if the reader closed the pipe
 /// (e.g. `repro all | head`).
@@ -38,7 +48,8 @@ macro_rules! say {
 
 fn usage() {
     eprintln!(
-        "usage: repro list | all [--quick] [--json] [--jobs N] | <id>... [--quick] [--json] [--jobs N]"
+        "usage: repro list | check-manifest <path> | all [options] | <id>... [options]\n\
+         options: [--quick] [--json] [--jobs N] [--metrics] [--manifest PATH]"
     );
     eprintln!("ids:");
     for e in EXPERIMENTS {
@@ -46,42 +57,93 @@ fn usage() {
     }
 }
 
-/// Parses `--jobs N` / `--jobs=N` out of `args`. `Ok(None)` if absent;
-/// `0` means "one job per available core".
-fn take_jobs(args: &mut Vec<String>) -> Result<Option<NonZeroUsize>, String> {
-    let value = if let Some(pos) = args.iter().position(|a| a == "--jobs") {
-        if pos + 1 >= args.len() {
-            return Err("--jobs needs a value".into());
+/// Removes **every** occurrence of the flag; true if it appeared at all.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+/// Parses `--name V` / `--name=V` out of `args`, removing every
+/// occurrence; the last value wins. `Ok(None)` if absent.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let prefix = format!("{name}=");
+    let mut value = None;
+    loop {
+        let Some(pos) = args
+            .iter()
+            .position(|a| a == name || a.starts_with(&prefix))
+        else {
+            return Ok(value);
+        };
+        if args[pos] == name {
+            if pos + 1 >= args.len() {
+                return Err(format!("{name} needs a value"));
+            }
+            value = Some(args.remove(pos + 1));
+            args.remove(pos);
+        } else {
+            value = Some(args.remove(pos)[prefix.len()..].to_string());
         }
-        let v = args.remove(pos + 1);
-        args.remove(pos);
-        v
-    } else if let Some(pos) = args.iter().position(|a| a.starts_with("--jobs=")) {
-        let v = args.remove(pos);
-        v["--jobs=".len()..].to_string()
-    } else {
-        return Ok(None);
-    };
+    }
+}
+
+/// Parses the `--jobs` value; `0` means "one job per available core".
+fn parse_jobs(value: &str) -> Result<NonZeroUsize, String> {
     let n: usize = value
         .parse()
         .map_err(|_| format!("--jobs: not a number: {value}"))?;
-    Ok(Some(NonZeroUsize::new(n).unwrap_or_else(default_jobs)))
+    Ok(NonZeroUsize::new(n).unwrap_or_else(default_jobs))
+}
+
+fn check_manifest(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match RunManifest::from_json(&json) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let missing = manifest.missing_experiments();
+    if !missing.is_empty() {
+        eprintln!(
+            "{path}: manifest covers {} of {} experiments; missing: {}",
+            manifest.experiments.len(),
+            EXPERIMENTS.len(),
+            missing.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{path}: ok ({} experiments, schema {})",
+        manifest.experiments.len(),
+        manifest.schema
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut take_flag = |name: &str| -> bool {
-        if let Some(pos) = args.iter().position(|a| a == name) {
-            args.remove(pos);
-            true
-        } else {
-            false
+    let quick = take_flag(&mut args, "--quick");
+    let json = take_flag(&mut args, "--json");
+    let all_flag = take_flag(&mut args, "--all");
+    let metrics = take_flag(&mut args, "--metrics");
+    let jobs = match take_value_flag(&mut args, "--jobs") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
         }
     };
-    let quick = take_flag("--quick");
-    let json = take_flag("--json");
-    let all_flag = take_flag("--all");
-    let jobs = match take_jobs(&mut args) {
+    let jobs = match jobs.as_deref().map(parse_jobs).transpose() {
         Ok(j) => j,
         Err(msg) => {
             eprintln!("{msg}");
@@ -89,27 +151,58 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if args.is_empty() && !all_flag {
+    let manifest_path = match take_value_flag(&mut args, "--manifest") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(unknown) = args.iter().find(|a| a.starts_with('-')) {
+        eprintln!("unknown option: {unknown}");
         usage();
         return ExitCode::FAILURE;
     }
-    let opts = if quick {
-        RunOptions::quick()
-    } else {
-        RunOptions::default()
-    };
-    if !all_flag && args[0] == "list" {
+    let any_option =
+        quick || json || all_flag || metrics || jobs.is_some() || manifest_path.is_some();
+    if args.first().map(String::as_str) == Some("list") {
+        if any_option || args.len() > 1 {
+            eprintln!("list takes no options or arguments");
+            usage();
+            return ExitCode::FAILURE;
+        }
         for e in EXPERIMENTS {
             say!("{:<8} {}", e.id, e.title);
         }
         return ExitCode::SUCCESS;
     }
-    let selected: Vec<&'static swcc_experiments::Experiment> = if all_flag || args[0] == "all" {
+    if args.first().map(String::as_str) == Some("check-manifest") {
+        if any_option || args.len() != 2 {
+            eprintln!("usage: repro check-manifest <path>");
+            return ExitCode::FAILURE;
+        }
+        return check_manifest(&args[1]);
+    }
+    if args.is_empty() && !all_flag {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let wants_all = all_flag || args.iter().any(|a| a == "all");
+    let selected: Vec<&'static swcc_experiments::Experiment> = if wants_all {
+        if args.iter().any(|a| a != "all") {
+            eprintln!("cannot combine 'all' with explicit experiment ids");
+            usage();
+            return ExitCode::FAILURE;
+        }
         EXPERIMENTS.iter().collect()
     } else {
-        let mut v = Vec::new();
+        let mut v: Vec<&'static swcc_experiments::Experiment> = Vec::new();
         for id in &args {
             match find(id) {
+                Some(e) if v.iter().any(|s| s.id == e.id) => {
+                    eprintln!("note: ignoring duplicate experiment id: {id}");
+                }
                 Some(e) => v.push(e),
                 None => {
                     eprintln!("unknown experiment id: {id}");
@@ -120,14 +213,32 @@ fn main() -> ExitCode {
         }
         v
     };
+    let opts = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::default()
+    };
+    let observe = metrics || manifest_path.is_some();
+    let registry = if observe {
+        let builder = swcc_core::metrics::register(swcc_obs::RegistryBuilder::new());
+        let registry: &'static swcc_obs::MetricsRegistry =
+            Box::leak(Box::new(runner::register_metrics(builder).build()));
+        if swcc_obs::install(registry).is_err() {
+            eprintln!("cannot install metrics recorder");
+            return ExitCode::FAILURE;
+        }
+        Some(registry)
+    } else {
+        None
+    };
     let jobs = jobs.unwrap_or_else(|| NonZeroUsize::new(1).expect("1 is non-zero"));
     let count = selected.len();
     let wall = Instant::now();
-    let records = run_selected(&selected, &opts, jobs);
+    let records = run_selected_observed(&selected, &opts, jobs, observe);
     let wall = wall.elapsed();
     if json {
         let artifacts: Vec<(&str, swcc_experiments::Artifact)> =
-            records.into_iter().map(|r| (r.id, r.artifact)).collect();
+            records.iter().map(|r| (r.id, r.artifact.clone())).collect();
         match serde_json::to_string_pretty(&artifacts) {
             Ok(s) => say!("{s}"),
             Err(e) => {
@@ -139,6 +250,28 @@ fn main() -> ExitCode {
         for r in &records {
             say!("=== {} — {} ===", r.id, r.title);
             say!("{}", r.artifact.render());
+        }
+    }
+    if let Some(registry) = registry {
+        let totals = registry.snapshot();
+        if let Some(path) = &manifest_path {
+            let manifest = RunManifest::new(
+                ManifestOptions {
+                    quick,
+                    jobs: jobs.get(),
+                },
+                &records,
+                wall.as_secs_f64() * 1e3,
+                &totals,
+            );
+            if let Err(e) = std::fs::write(path, manifest.to_json() + "\n") {
+                eprintln!("cannot write manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote manifest to {path}");
+        }
+        if metrics {
+            eprint!("{}", totals.render());
         }
     }
     eprintln!(

@@ -40,6 +40,7 @@
 pub mod artifact;
 pub mod extensions;
 pub mod figures;
+pub mod manifest;
 pub mod plot;
 pub mod registry;
 pub mod runner;
@@ -47,5 +48,6 @@ pub mod tables;
 pub mod validation;
 
 pub use artifact::{Artifact, Figure, Series, Table};
+pub use manifest::{RunManifest, MANIFEST_SCHEMA};
 pub use registry::{find, Experiment, RunOptions, EXPERIMENTS};
-pub use runner::{default_jobs, run_all, run_selected, RunRecord};
+pub use runner::{default_jobs, run_all, run_selected, run_selected_observed, RunRecord};

@@ -1,0 +1,299 @@
+//! The machine-readable run manifest behind `repro --manifest <path>`.
+//!
+//! A manifest is a schema-versioned JSON record of one `repro`
+//! invocation: which experiments ran with which options, how long each
+//! took (run time, queue wait, worker), the solver counters each one
+//! caused, and the process-wide metric totals. CI archives it next to
+//! the benchmark baselines so a run's cost profile travels with its
+//! artifacts.
+//!
+//! The schema string ([`MANIFEST_SCHEMA`]) is checked on load:
+//! [`RunManifest::from_json`] rejects manifests written by a different
+//! schema revision instead of misinterpreting them.
+
+use serde::{Deserialize, Serialize};
+use swcc_obs::MetricsSnapshot;
+
+use crate::registry::EXPERIMENTS;
+use crate::runner::RunRecord;
+
+/// Schema identifier written into (and required from) every manifest.
+pub const MANIFEST_SCHEMA: &str = "swcc-run-manifest/v1";
+
+/// One named counter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestCounter {
+    /// Metric name (`"core.solver.residual_evals"`, ...).
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One named gauge value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestGauge {
+    /// Metric name.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// One named histogram, reduced to count/sum/mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestHistogram {
+    /// Metric name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all finite observations.
+    pub sum: f64,
+    /// `sum / count`, or `0.0` when empty.
+    pub mean: f64,
+}
+
+/// A metrics snapshot in manifest form.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Counters, sorted by name.
+    pub counters: Vec<ManifestCounter>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<ManifestGauge>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<ManifestHistogram>,
+}
+
+impl MetricsReport {
+    /// Converts an in-memory snapshot to manifest form.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> Self {
+        MetricsReport {
+            counters: snapshot
+                .counters
+                .iter()
+                .map(|c| ManifestCounter {
+                    name: c.name.clone(),
+                    value: c.value,
+                })
+                .collect(),
+            gauges: snapshot
+                .gauges
+                .iter()
+                .map(|g| ManifestGauge {
+                    name: g.name.clone(),
+                    value: g.value,
+                })
+                .collect(),
+            histograms: snapshot
+                .histograms
+                .iter()
+                .map(|h| ManifestHistogram {
+                    name: h.name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    mean: h.mean(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The value of a named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
+/// The options one manifest run used.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestOptions {
+    /// Whether the reduced-work (`--quick`) profile was used.
+    pub quick: bool,
+    /// Worker threads the runner was given.
+    pub jobs: usize,
+}
+
+/// One experiment's entry in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRun {
+    /// Stable experiment id.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Wall-clock run time in milliseconds.
+    pub duration_ms: f64,
+    /// Queue wait (batch start to claim) in milliseconds.
+    pub queue_wait_ms: f64,
+    /// Zero-based worker thread index that ran it.
+    pub worker: usize,
+    /// Solver/sweep counters attributed to this experiment.
+    pub counters: Vec<ManifestCounter>,
+}
+
+/// Batch-level totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTotals {
+    /// Experiments in the run.
+    pub experiments: usize,
+    /// Whole-batch wall-clock time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A complete, schema-versioned record of one `repro` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Always [`MANIFEST_SCHEMA`]; checked by [`RunManifest::from_json`].
+    pub schema: String,
+    /// The options the run used.
+    pub options: ManifestOptions,
+    /// Per-experiment entries, in run order.
+    pub experiments: Vec<ExperimentRun>,
+    /// Batch totals.
+    pub totals: RunTotals,
+    /// Process-wide metric totals (from the installed registry).
+    pub metrics: MetricsReport,
+}
+
+impl RunManifest {
+    /// Builds a manifest from runner records and the process-wide
+    /// metrics snapshot.
+    pub fn new(
+        options: ManifestOptions,
+        records: &[RunRecord],
+        wall_ms: f64,
+        totals: &MetricsSnapshot,
+    ) -> Self {
+        RunManifest {
+            schema: MANIFEST_SCHEMA.to_string(),
+            options,
+            experiments: records
+                .iter()
+                .map(|r| ExperimentRun {
+                    id: r.id.to_string(),
+                    title: r.title.to_string(),
+                    duration_ms: r.duration.as_secs_f64() * 1e3,
+                    queue_wait_ms: r.queue_wait.as_secs_f64() * 1e3,
+                    worker: r.worker,
+                    counters: MetricsReport::from_snapshot(&r.metrics).counters,
+                })
+                .collect(),
+            totals: RunTotals {
+                experiments: records.len(),
+                wall_ms,
+            },
+            metrics: MetricsReport::from_snapshot(totals),
+        }
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
+    }
+
+    /// Parses a manifest, rejecting unknown schema revisions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if the JSON is malformed, does
+    /// not match the manifest shape, or declares a schema other than
+    /// [`MANIFEST_SCHEMA`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let manifest: RunManifest =
+            serde_json::from_str(json).map_err(|e| format!("invalid manifest: {e}"))?;
+        if manifest.schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "unsupported manifest schema {:?} (expected {MANIFEST_SCHEMA:?})",
+                manifest.schema
+            ));
+        }
+        Ok(manifest)
+    }
+
+    /// The entry for one experiment id, if present.
+    pub fn experiment(&self, id: &str) -> Option<&ExperimentRun> {
+        self.experiments.iter().find(|e| e.id == id)
+    }
+
+    /// Registered experiment ids this manifest does **not** cover — empty
+    /// for a full `repro --all` run. CI uses this to assert that the
+    /// archived manifest spans the whole registry.
+    pub fn missing_experiments(&self) -> Vec<&'static str> {
+        EXPERIMENTS
+            .iter()
+            .map(|e| e.id)
+            .filter(|id| self.experiment(id).is_none())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::num::NonZeroUsize;
+
+    use super::*;
+    use crate::registry::{find, RunOptions};
+    use crate::runner::run_selected_observed;
+
+    fn sample_manifest() -> RunManifest {
+        let batch = vec![find("table1").unwrap(), find("fig11").unwrap()];
+        let records = run_selected_observed(
+            &batch,
+            &RunOptions::quick(),
+            NonZeroUsize::new(1).unwrap(),
+            true,
+        );
+        RunManifest::new(
+            ManifestOptions {
+                quick: true,
+                jobs: 1,
+            },
+            &records,
+            12.5,
+            &MetricsSnapshot::default(),
+        )
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let manifest = sample_manifest();
+        let parsed = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn captures_per_experiment_solver_counters() {
+        let manifest = sample_manifest();
+        let fig11 = manifest.experiment("fig11").unwrap();
+        let evals = fig11
+            .counters
+            .iter()
+            .find(|c| c.name == swcc_core::metrics::SOLVER_RESIDUAL_EVALS)
+            .map(|c| c.value);
+        assert!(evals.unwrap_or(0) > 0, "fig11 must report solver work");
+        let table1 = manifest.experiment("table1").unwrap();
+        assert!(table1.counters.is_empty(), "a static table does no solves");
+    }
+
+    #[test]
+    fn rejects_foreign_schema() {
+        let mut manifest = sample_manifest();
+        manifest.schema = "swcc-run-manifest/v0".to_string();
+        let err = RunManifest::from_json(&manifest.to_json()).unwrap_err();
+        assert!(err.contains("unsupported manifest schema"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(RunManifest::from_json("{").is_err());
+        assert!(RunManifest::from_json("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn missing_experiments_flags_partial_runs() {
+        let manifest = sample_manifest();
+        let missing = manifest.missing_experiments();
+        assert!(missing.contains(&"fig5"), "fig5 was not in the batch");
+        assert!(!missing.contains(&"fig11"));
+        assert_eq!(missing.len(), crate::registry::EXPERIMENTS.len() - 2);
+    }
+}

@@ -10,14 +10,48 @@
 //!
 //! The `repro` binary drives this through `--jobs N`; library users call
 //! [`run_selected`] or [`run_all`] directly.
+//!
+//! With observation enabled ([`run_selected_observed`]) each experiment
+//! additionally runs inside a [`swcc_obs::capture`] span: the record
+//! then carries the solver/sweep counters attributable to that one
+//! experiment, plus its queue wait and the worker that ran it. The
+//! `repro` binary turns these into `--metrics` output and the
+//! `--manifest` run manifest. Observation never changes the artifacts —
+//! only the bookkeeping around them.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use swcc_obs::{MetricsSnapshot, RegistryBuilder};
+
 use crate::artifact::Artifact;
 use crate::registry::{Experiment, RunOptions, EXPERIMENTS};
+
+/// Experiments completed by the runner (all batches).
+pub const RUNNER_EXPERIMENTS: &str = "runner.experiments";
+/// Worker threads used by the most recent batch.
+pub const RUNNER_WORKERS: &str = "runner.workers";
+/// Distribution of per-experiment run times, in milliseconds.
+pub const RUNNER_RUN_MS: &str = "runner.run_ms";
+/// Distribution of queue waits (batch start until a worker claimed the
+/// experiment), in milliseconds.
+pub const RUNNER_QUEUE_WAIT_MS: &str = "runner.queue_wait_ms";
+
+/// Registers the runner's metrics on the builder.
+#[must_use]
+pub fn register_metrics(builder: RegistryBuilder) -> RegistryBuilder {
+    const MS_BOUNDS: &[f64] = &[
+        0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+        5000.0,
+    ];
+    builder
+        .counter(RUNNER_EXPERIMENTS)
+        .gauge(RUNNER_WORKERS)
+        .histogram(RUNNER_RUN_MS, MS_BOUNDS)
+        .histogram(RUNNER_QUEUE_WAIT_MS, MS_BOUNDS)
+}
 
 /// The outcome of one experiment run through the runner.
 #[derive(Debug, Clone)]
@@ -32,6 +66,14 @@ pub struct RunRecord {
     pub artifact: Artifact,
     /// Wall-clock time this experiment took.
     pub duration: Duration,
+    /// Time between batch start and a worker claiming this experiment.
+    pub queue_wait: Duration,
+    /// Zero-based index of the worker thread that ran this experiment.
+    pub worker: usize,
+    /// Solver/sweep metrics recorded while this experiment ran, captured
+    /// per-thread via [`swcc_obs::capture`]. Empty unless the batch was
+    /// run through [`run_selected_observed`] with `observe` set.
+    pub metrics: MetricsSnapshot,
 }
 
 /// The machine's available parallelism, or 1 if it cannot be queried.
@@ -56,19 +98,56 @@ pub fn run_selected(
     options: &RunOptions,
     jobs: NonZeroUsize,
 ) -> Vec<RunRecord> {
+    run_selected_observed(experiments, options, jobs, false)
+}
+
+/// Like [`run_selected`], but with optional per-experiment observation.
+///
+/// With `observe` set, each experiment body runs inside a
+/// [`swcc_obs::capture`] span so its [`RunRecord::metrics`] carries the
+/// solver and sweep counters that experiment caused, and the runner
+/// reports batch-level metrics ([`RUNNER_EXPERIMENTS`],
+/// [`RUNNER_WORKERS`], [`RUNNER_RUN_MS`], [`RUNNER_QUEUE_WAIT_MS`])
+/// through the global dispatch. With `observe` unset this is exactly
+/// [`run_selected`]: no capture spans are opened and the records carry
+/// empty metrics.
+///
+/// # Panics
+///
+/// As [`run_selected`].
+pub fn run_selected_observed(
+    experiments: &[&'static Experiment],
+    options: &RunOptions,
+    jobs: NonZeroUsize,
+    observe: bool,
+) -> Vec<RunRecord> {
     let workers = jobs.get().min(experiments.len().max(1));
+    if observe {
+        swcc_obs::gauge_set(RUNNER_WORKERS, workers as f64);
+    }
     let cursor = AtomicUsize::new(0);
+    let batch_start = Instant::now();
     let (tx, rx) = mpsc::channel::<(usize, RunRecord)>();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(exp) = experiments.get(i) else { break };
+                let queue_wait = batch_start.elapsed();
                 let start = Instant::now();
-                let mut artifact = (exp.run)(options);
+                let (mut artifact, metrics) = if observe {
+                    swcc_obs::capture(|| (exp.run)(options))
+                } else {
+                    ((exp.run)(options), MetricsSnapshot::default())
+                };
                 let duration = start.elapsed();
+                if observe {
+                    swcc_obs::counter_add(RUNNER_EXPERIMENTS, 1);
+                    swcc_obs::observe(RUNNER_RUN_MS, duration.as_secs_f64() * 1e3);
+                    swcc_obs::observe(RUNNER_QUEUE_WAIT_MS, queue_wait.as_secs_f64() * 1e3);
+                }
                 artifact.push_note(format!(
                     "runner: completed in {:.1} ms",
                     duration.as_secs_f64() * 1e3
@@ -78,6 +157,9 @@ pub fn run_selected(
                     title: exp.title,
                     artifact,
                     duration,
+                    queue_wait,
+                    worker,
+                    metrics,
                 };
                 // The receiver outlives the scope; a send cannot fail.
                 let _ = tx.send((i, record));
@@ -175,6 +257,85 @@ mod tests {
     fn empty_batch_is_fine() {
         let records = run_selected(&[], &RunOptions::quick(), NonZeroUsize::new(8).unwrap());
         assert!(records.is_empty());
+    }
+
+    #[test]
+    fn unobserved_records_have_empty_metrics() {
+        let batch = vec![find("fig5").unwrap()];
+        let records = run_selected(&batch, &RunOptions::quick(), NonZeroUsize::new(1).unwrap());
+        assert!(records[0].metrics.is_empty());
+    }
+
+    #[test]
+    fn observed_run_attributes_solver_work_per_experiment() {
+        let batch: Vec<_> = ["table1", "fig5", "fig11"]
+            .iter()
+            .map(|id| find(id).expect("registered"))
+            .collect();
+        let records = run_selected_observed(
+            &batch,
+            &RunOptions::quick(),
+            NonZeroUsize::new(2).unwrap(),
+            true,
+        );
+        let by_id = |id: &str| records.iter().find(|r| r.id == id).unwrap();
+        // table1 is a static cost table: no solver work at all.
+        assert_eq!(
+            by_id("table1")
+                .metrics
+                .counter(swcc_core::metrics::SOLVER_SOLVES),
+            None
+        );
+        // fig5 sweeps the bus model, fig11 solves the network fixed point;
+        // each experiment's span sees only its own work.
+        assert!(
+            by_id("fig5")
+                .metrics
+                .counter(swcc_core::metrics::BUS_SWEEPS)
+                .unwrap_or(0)
+                > 0
+        );
+        assert_eq!(
+            by_id("fig5")
+                .metrics
+                .counter(swcc_core::metrics::SOLVER_SOLVES),
+            None
+        );
+        assert!(
+            by_id("fig11")
+                .metrics
+                .counter(swcc_core::metrics::SOLVER_RESIDUAL_EVALS)
+                .unwrap_or(0)
+                > 0
+        );
+        for record in &records {
+            assert!(record.worker < 2, "{}: worker {}", record.id, record.worker);
+        }
+    }
+
+    #[test]
+    fn observation_does_not_change_artifacts() {
+        let batch = quick_batch();
+        let opts = RunOptions::quick();
+        let plain = run_selected(&batch, &opts, NonZeroUsize::new(2).unwrap());
+        let observed = run_selected_observed(&batch, &opts, NonZeroUsize::new(2).unwrap(), true);
+        for (p, o) in plain.iter().zip(&observed) {
+            assert_eq!(
+                without_runner_notes(p.artifact.clone()),
+                without_runner_notes(o.artifact.clone()),
+                "{} artifact must not depend on observation",
+                p.id
+            );
+        }
+    }
+
+    #[test]
+    fn register_metrics_covers_runner_names() {
+        let registry = register_metrics(swcc_obs::RegistryBuilder::new()).build();
+        assert_eq!(registry.counter_value(RUNNER_EXPERIMENTS), Some(0));
+        assert!(registry.histogram(RUNNER_RUN_MS).is_some());
+        assert!(registry.histogram(RUNNER_QUEUE_WAIT_MS).is_some());
+        assert_eq!(registry.gauge_value(RUNNER_WORKERS), Some(0.0));
     }
 
     #[test]

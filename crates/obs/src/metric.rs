@@ -1,0 +1,274 @@
+//! The metric primitives: [`Counter`], [`Gauge`], and fixed-bucket
+//! [`Histogram`], all built on `std` atomics.
+//!
+//! Every operation on these types is lock-free: a counter increment is
+//! one `fetch_add`, a gauge set is one `store`, and a histogram
+//! observation is two `fetch_add`s plus a compare-and-swap loop for the
+//! running sum. They are safe to hammer from any number of threads —
+//! the parallel experiment runner records into them without any
+//! coordination beyond the atomics themselves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero (usable in `static` items).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `by` to the counter.
+    #[inline]
+    pub fn add(&self, by: u64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins instantaneous measurement (worker counts, queue
+/// depths, configuration values).
+///
+/// The value is an `f64` stored as its bit pattern in an `AtomicU64`, so
+/// reads and writes are single atomic operations.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0` (usable in `static` items).
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Resets the gauge to `0.0`.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// Bucket boundaries are chosen at construction and never change, so
+/// recording is allocation-free: an observation `v` lands in the first
+/// bucket whose upper bound is `>= v`, with one implicit overflow bucket
+/// above the largest bound. The running count and sum are tracked so
+/// averages survive even when the bucket resolution is coarse.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds.
+    ///
+    /// Non-finite bounds are dropped; the rest are sorted and
+    /// deduplicated. An extra overflow bucket always exists above the
+    /// largest bound, so an empty `bounds` slice still yields a working
+    /// (single-bucket) histogram.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// `NaN` observations are counted into the overflow bucket and
+    /// excluded from the sum so they cannot poison the average.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        let index = if value.is_nan() {
+            self.bounds.len()
+        } else {
+            self.bounds.partition_point(|b| *b < value)
+        };
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            // Lock-free f64 accumulation: CAS the bit pattern.
+            let mut current = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + value).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+        }
+    }
+
+    /// The bucket upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts; one longer than [`bounds`](Self::bounds).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of the finite observations, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Resets every bucket, the count, and the sum to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0.0_f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.set(-7.0);
+        assert_eq!(g.get(), -7.0);
+        g.reset();
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        // 0.5 and 1.0 land in the <=1 bucket (inclusive upper bound).
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 556.5).abs() < 1e-12);
+        assert!((h.mean() - 556.5 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sanitizes_bounds() {
+        let h = Histogram::new(&[10.0, f64::NAN, 1.0, 10.0, f64::INFINITY]);
+        assert_eq!(h.bounds(), &[1.0, 10.0]);
+        assert_eq!(h.bucket_counts().len(), 3);
+    }
+
+    #[test]
+    fn histogram_handles_nan_observations() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(0.5);
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 0.5).abs() < 1e-12, "NaN must not poison sum");
+        assert_eq!(h.bucket_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_bounds_still_work() {
+        let h = Histogram::new(&[]);
+        h.observe(42.0);
+        assert_eq!(h.bucket_counts(), vec![1]);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = Counter::new();
+        let h = Histogram::new(&[50.0]);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..1000 {
+                        c.incr();
+                        h.observe(f64::from(i % 100));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+        let expected: f64 = 8.0 * 10.0 * (0..100).map(f64::from).sum::<f64>();
+        assert!((h.sum() - expected).abs() < 1e-6);
+    }
+}

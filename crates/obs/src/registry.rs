@@ -1,0 +1,420 @@
+//! The [`MetricsRegistry`]: a fixed set of named metrics shared by every
+//! thread, plus point-in-time [`MetricsSnapshot`]s of its contents.
+//!
+//! Registration is a build-time step ([`RegistryBuilder`]): once
+//! [`RegistryBuilder::build`] runs, the name tables are immutable, so
+//! the record path is a binary search over a read-only slice followed by
+//! one atomic update — no locks anywhere. Names that were never
+//! registered are counted into the [`UNREGISTERED`] counter instead of
+//! being recorded, so a typo in an instrumentation site shows up in the
+//! snapshot rather than silently vanishing.
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::recorder::Recorder;
+
+/// Counter name under which the registry reports drops of metrics that
+/// were recorded but never registered.
+pub const UNREGISTERED: &str = "obs.unregistered";
+
+/// Collects metric definitions before freezing them into a
+/// [`MetricsRegistry`].
+///
+/// ```
+/// use swcc_obs::RegistryBuilder;
+///
+/// let registry = RegistryBuilder::new()
+///     .counter("demo.events")
+///     .gauge("demo.workers")
+///     .histogram("demo.latency_ms", &[1.0, 10.0, 100.0])
+///     .build();
+/// registry.counter_value("demo.events");
+/// ```
+#[derive(Debug, Default)]
+pub struct RegistryBuilder {
+    counters: Vec<&'static str>,
+    gauges: Vec<&'static str>,
+    histograms: Vec<(&'static str, Vec<f64>)>,
+}
+
+impl RegistryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        RegistryBuilder::default()
+    }
+
+    /// Registers a counter.
+    #[must_use]
+    pub fn counter(mut self, name: &'static str) -> Self {
+        self.counters.push(name);
+        self
+    }
+
+    /// Registers a gauge.
+    #[must_use]
+    pub fn gauge(mut self, name: &'static str) -> Self {
+        self.gauges.push(name);
+        self
+    }
+
+    /// Registers a histogram with the given bucket upper bounds (see
+    /// [`Histogram::new`] for how bounds are sanitized).
+    #[must_use]
+    pub fn histogram(mut self, name: &'static str, bounds: &[f64]) -> Self {
+        self.histograms.push((name, bounds.to_vec()));
+        self
+    }
+
+    /// Freezes the definitions into a registry.
+    ///
+    /// Duplicate names keep their first registration.
+    pub fn build(self) -> MetricsRegistry {
+        fn dedup_sorted<T>(mut items: Vec<(&'static str, T)>) -> Vec<(&'static str, T)> {
+            items.sort_by_key(|(name, _)| *name);
+            items.dedup_by_key(|(name, _)| *name);
+            items
+        }
+        let counters = dedup_sorted(
+            self.counters
+                .into_iter()
+                .map(|n| (n, Counter::new()))
+                .collect(),
+        );
+        let gauges = dedup_sorted(self.gauges.into_iter().map(|n| (n, Gauge::new())).collect());
+        let histograms = dedup_sorted(
+            self.histograms
+                .into_iter()
+                .map(|(n, bounds)| (n, Histogram::new(&bounds)))
+                .collect(),
+        );
+        MetricsRegistry {
+            counters,
+            gauges,
+            histograms,
+            unregistered: Counter::new(),
+        }
+    }
+}
+
+/// A thread-safe collection of pre-registered metrics.
+///
+/// Implements [`Recorder`], so it can be installed as the process-wide
+/// sink via [`crate::install`]. All recording methods take `&self` and
+/// touch only atomics.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, Counter)>,
+    gauges: Vec<(&'static str, Gauge)>,
+    histograms: Vec<(&'static str, Histogram)>,
+    unregistered: Counter,
+}
+
+impl MetricsRegistry {
+    fn find<'a, T>(table: &'a [(&'static str, T)], name: &str) -> Option<&'a T> {
+        table
+            .binary_search_by(|(n, _)| (*n).cmp(name))
+            .ok()
+            .map(|i| &table[i].1)
+    }
+
+    /// The current value of a registered counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        Self::find(&self.counters, name).map(Counter::get)
+    }
+
+    /// The current value of a registered gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        Self::find(&self.gauges, name).map(Gauge::get)
+    }
+
+    /// A registered histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        Self::find(&self.histograms, name)
+    }
+
+    /// How many records targeted names that were never registered.
+    pub fn unregistered(&self) -> u64 {
+        self.unregistered.get()
+    }
+
+    /// Resets every metric (and the unregistered-drop counter) to zero.
+    pub fn reset(&self) {
+        for (_, c) in &self.counters {
+            c.reset();
+        }
+        for (_, g) in &self.gauges {
+            g.reset();
+        }
+        for (_, h) in &self.histograms {
+            h.reset();
+        }
+        self.unregistered.reset();
+    }
+
+    /// Captures a point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSnapshot> = self
+            .counters
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: (*name).to_string(),
+                value: c.get(),
+            })
+            .collect();
+        counters.push(CounterSnapshot {
+            name: UNREGISTERED.to_string(),
+            value: self.unregistered.get(),
+        });
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(name, g)| GaugeSnapshot {
+                    name: (*name).to_string(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: (*name).to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    bounds: h.bounds().to_vec(),
+                    buckets: h.bucket_counts(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn counter_add(&self, name: &'static str, by: u64) {
+        match Self::find(&self.counters, name) {
+            Some(c) => c.add(by),
+            None => self.unregistered.incr(),
+        }
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        match Self::find(&self.gauges, name) {
+            Some(g) => g.set(value),
+            None => self.unregistered.incr(),
+        }
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        match Self::find(&self.histograms, name) {
+            Some(h) => h.observe(value),
+            None => self.unregistered.incr(),
+        }
+    }
+}
+
+/// A frozen copy of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// A frozen copy of one gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// A frozen copy of one histogram.
+///
+/// Snapshots taken from a thread-local capture ([`crate::capture`]) have
+/// empty `bounds`/`buckets` (only `count` and `sum` are tracked there);
+/// registry snapshots carry the full bucket layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Bucket upper bounds (empty for capture snapshots).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, one longer than `bounds` (the overflow bucket).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a set of metrics, detached from any atomics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a counter value up by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks a gauge value up by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks a histogram up by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// `true` if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|c| c.value == 0)
+            && self.gauges.iter().all(|g| g.value == 0.0)
+            && self.histograms.iter().all(|h| h.count == 0)
+    }
+
+    /// Renders a human-readable multi-line summary (the body of
+    /// `repro --metrics`).
+    pub fn render(&self) -> String {
+        let mut out = String::from("metrics:\n");
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for c in &self.counters {
+                out.push_str(&format!("    {:<36} {}\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("  gauges:\n");
+            for g in &self.gauges {
+                out.push_str(&format!("    {:<36} {}\n", g.name, g.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("  histograms:\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "    {:<36} count={} sum={:.3} mean={:.3}\n",
+                    h.name,
+                    h.count,
+                    h.sum,
+                    h.mean()
+                ));
+                if !h.bounds.is_empty() && h.count > 0 {
+                    let cells: Vec<String> = h
+                        .bounds
+                        .iter()
+                        .zip(&h.buckets)
+                        .map(|(le, n)| format!("le{le}:{n}"))
+                        .collect();
+                    let overflow = h.buckets.last().copied().unwrap_or(0);
+                    out.push_str(&format!(
+                        "      buckets: {} inf:{overflow}\n",
+                        cells.join(" ")
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> MetricsRegistry {
+        RegistryBuilder::new()
+            .counter("a.count")
+            .counter("b.count")
+            .gauge("a.gauge")
+            .histogram("a.hist", &[1.0, 10.0])
+            .build()
+    }
+
+    #[test]
+    fn records_into_registered_metrics() {
+        let r = registry();
+        r.counter_add("a.count", 3);
+        r.counter_add("b.count", 1);
+        r.gauge_set("a.gauge", 4.5);
+        r.observe("a.hist", 5.0);
+        assert_eq!(r.counter_value("a.count"), Some(3));
+        assert_eq!(r.counter_value("b.count"), Some(1));
+        assert_eq!(r.gauge_value("a.gauge"), Some(4.5));
+        assert_eq!(r.histogram("a.hist").unwrap().count(), 1);
+        assert_eq!(r.unregistered(), 0);
+    }
+
+    #[test]
+    fn unknown_names_count_as_unregistered() {
+        let r = registry();
+        r.counter_add("typo.count", 1);
+        r.observe("typo.hist", 1.0);
+        r.gauge_set("typo.gauge", 1.0);
+        assert_eq!(r.unregistered(), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(UNREGISTERED), Some(3));
+    }
+
+    #[test]
+    fn snapshot_and_reset_round_trip() {
+        let r = registry();
+        r.counter_add("a.count", 7);
+        r.observe("a.hist", 0.5);
+        r.observe("a.hist", 100.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(7));
+        let h = snap.histogram("a.hist").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.buckets, vec![1, 0, 1]);
+        assert!((h.mean() - 50.25).abs() < 1e-12);
+        assert!(!snap.is_empty());
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn duplicate_registrations_collapse() {
+        let r = RegistryBuilder::new().counter("dup").counter("dup").build();
+        r.counter_add("dup", 2);
+        assert_eq!(r.counter_value("dup"), Some(2));
+        assert_eq!(r.snapshot().counters.len(), 2, "dup + obs.unregistered");
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let r = registry();
+        r.counter_add("a.count", 1);
+        r.observe("a.hist", 2.0);
+        let text = r.snapshot().render();
+        assert!(text.contains("a.count"));
+        assert!(text.contains("a.gauge"));
+        assert!(text.contains("a.hist"));
+        assert!(text.contains("buckets:"));
+    }
+}

@@ -1,9 +1,57 @@
 //! End-to-end tests of the `repro` binary.
 
+use std::path::PathBuf;
 use std::process::Command;
+
+use swcc_experiments::manifest::RunManifest;
 
 fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// A per-test scratch path for manifest files, cleaned up on drop.
+struct TempManifest(PathBuf);
+
+impl TempManifest {
+    fn new(tag: &str) -> Self {
+        TempManifest(
+            std::env::temp_dir().join(format!("swcc-repro-{}-{tag}.json", std::process::id())),
+        )
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("temp path is valid UTF-8")
+    }
+}
+
+impl Drop for TempManifest {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Strips the runner's nondeterministic `runner: completed in … ms`
+/// footnotes from an artifact JSON tree so two runs can be compared.
+fn strip_runner_notes(value: &mut serde_json::Value) {
+    match value {
+        serde_json::Value::Array(items) => {
+            items.iter_mut().for_each(strip_runner_notes);
+        }
+        serde_json::Value::Object(entries) => {
+            for (key, entry) in entries.iter_mut() {
+                if key == "notes" {
+                    if let serde_json::Value::Array(notes) = entry {
+                        notes.retain(|n| match n {
+                            serde_json::Value::Str(s) => !s.starts_with("runner:"),
+                            _ => true,
+                        });
+                    }
+                }
+                strip_runner_notes(entry);
+            }
+        }
+        _ => {}
+    }
 }
 
 #[test]
@@ -129,4 +177,259 @@ fn no_arguments_fails_with_usage() {
     let out = repro().output().expect("spawn repro");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+// --- CLI argument-handling regressions ---------------------------------
+
+#[test]
+fn all_mixed_with_ids_is_rejected() {
+    // Regression: `repro all fig1` used to silently run the full
+    // registry, dropping the named ids.
+    for argv in [&["all", "fig1"][..], &["--all", "fig1"], &["fig1", "all"]] {
+        let out = repro().args(argv).output().expect("spawn repro");
+        assert!(!out.status.success(), "{argv:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot combine 'all' with explicit experiment ids"),
+            "{argv:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn repeated_jobs_flag_takes_last_value() {
+    // Regression: a second `--jobs N` used to survive flag stripping and
+    // be parsed as an experiment id ("unknown experiment id: --jobs").
+    let out = repro()
+        .args(["table1", "--jobs", "4", "--jobs", "1"])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("with 1 job(s)"),
+        "last --jobs wins: {stderr}"
+    );
+    let out = repro()
+        .args(["table1", "--jobs=4", "--jobs", "2"])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "mixed --jobs forms must both be consumed"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("with 2 job(s)"));
+}
+
+#[test]
+fn repeated_boolean_flags_are_consumed() {
+    let out = repro()
+        .args(["--quick", "table1", "--quick"])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "a repeated --quick must not become an experiment id: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn duplicate_ids_run_once() {
+    // Regression: `repro fig1 fig1` used to run the experiment twice.
+    let out = repro()
+        .args(["table1", "table1", "table7", "table1"])
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("=== table1").count(), 1);
+    assert_eq!(stdout.matches("=== table7").count(), 1);
+    assert!(
+        stdout.find("=== table1").unwrap() < stdout.find("=== table7").unwrap(),
+        "dedup must preserve first-seen order"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ignoring duplicate experiment id"));
+}
+
+#[test]
+fn list_rejects_options_and_arguments() {
+    // Regression: `repro list --jobs 2 --quick` used to silently discard
+    // the options and print the listing anyway.
+    for argv in [
+        &["list", "--jobs", "2", "--quick"][..],
+        &["list", "--json"],
+        &["list", "extra"],
+    ] {
+        let out = repro().args(argv).output().expect("spawn repro");
+        assert!(!out.status.success(), "{argv:?} must fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("list takes no options or arguments"),
+            "{argv:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_options_are_rejected() {
+    let out = repro()
+        .args(["table1", "--frobnicate"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option: --frobnicate"));
+}
+
+// --- Observability: --metrics and --manifest ---------------------------
+
+#[test]
+fn metrics_flag_reports_solver_counters() {
+    let out = repro()
+        .args(["fig11", "--quick", "--metrics"])
+        .output()
+        .expect("spawn repro --metrics");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("metrics:"), "{stderr}");
+    assert!(
+        stderr.contains("core.solver.residual_evals"),
+        "network figure must report solver work: {stderr}"
+    );
+    assert!(stderr.contains("runner.experiments"));
+}
+
+#[test]
+fn manifest_records_experiments_and_solver_counters() {
+    let tmp = TempManifest::new("partial");
+    let out = repro()
+        .args([
+            "fig10",
+            "fig11",
+            "--quick",
+            "--jobs",
+            "2",
+            "--manifest",
+            tmp.path(),
+        ])
+        .output()
+        .expect("spawn repro --manifest");
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(tmp.path()).expect("manifest written");
+    let manifest = RunManifest::from_json(&json).expect("manifest parses");
+    assert_eq!(manifest.schema, swcc_experiments::MANIFEST_SCHEMA);
+    assert!(manifest.options.quick);
+    assert_eq!(manifest.options.jobs, 2);
+    assert_eq!(manifest.totals.experiments, 2);
+    assert!(manifest.totals.wall_ms > 0.0);
+    for id in ["fig10", "fig11"] {
+        let entry = manifest.experiment(id).expect(id);
+        assert!(entry.duration_ms >= 0.0);
+        let evals = entry
+            .counters
+            .iter()
+            .find(|c| c.name == "core.solver.residual_evals")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert!(evals > 0, "{id} must attribute solver work, got {evals}");
+    }
+    // Process totals cover at least the per-experiment sums.
+    assert!(
+        manifest
+            .metrics
+            .counter("core.solver.residual_evals")
+            .unwrap_or(0)
+            > 0
+    );
+
+    // check-manifest: parses, but flags missing registry coverage.
+    let check = repro()
+        .args(["check-manifest", tmp.path()])
+        .output()
+        .expect("spawn check-manifest");
+    assert!(
+        !check.status.success(),
+        "partial manifest must fail coverage"
+    );
+    assert!(String::from_utf8_lossy(&check.stderr).contains("missing:"));
+}
+
+#[test]
+fn check_manifest_rejects_garbage() {
+    let tmp = TempManifest::new("garbage");
+    std::fs::write(tmp.path(), "{\"schema\": \"other/v9\"}").unwrap();
+    let out = repro()
+        .args(["check-manifest", tmp.path()])
+        .output()
+        .expect("spawn check-manifest");
+    assert!(!out.status.success());
+    let missing = repro()
+        .args(["check-manifest", "/nonexistent/manifest.json"])
+        .output()
+        .expect("spawn check-manifest");
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot read"));
+}
+
+#[test]
+fn observation_does_not_change_artifacts_and_manifest_covers_registry() {
+    // The acceptance bar for the observability layer: a full observed
+    // run produces byte-identical artifacts (modulo nondeterministic
+    // runner timing notes) and a manifest covering the whole registry.
+    let tmp = TempManifest::new("all");
+    let plain = repro()
+        .args(["--all", "--quick", "--jobs", "0", "--json"])
+        .output()
+        .expect("spawn plain run");
+    assert!(plain.status.success());
+    let observed = repro()
+        .args([
+            "--all",
+            "--quick",
+            "--jobs",
+            "0",
+            "--json",
+            "--metrics",
+            "--manifest",
+            tmp.path(),
+        ])
+        .output()
+        .expect("spawn observed run");
+    assert!(observed.status.success());
+
+    let mut plain_json: serde_json::Value =
+        serde_json::from_slice(&plain.stdout).expect("plain JSON");
+    let mut observed_json: serde_json::Value =
+        serde_json::from_slice(&observed.stdout).expect("observed JSON");
+    strip_runner_notes(&mut plain_json);
+    strip_runner_notes(&mut observed_json);
+    assert_eq!(
+        plain_json, observed_json,
+        "metrics/manifest must not change artifact output"
+    );
+
+    let manifest =
+        RunManifest::from_json(&std::fs::read_to_string(tmp.path()).expect("manifest written"))
+            .expect("manifest parses");
+    assert!(
+        manifest.missing_experiments().is_empty(),
+        "an --all manifest must cover the registry"
+    );
+    assert_eq!(
+        manifest.totals.experiments,
+        swcc_experiments::EXPERIMENTS.len()
+    );
+    let check = repro()
+        .args(["check-manifest", tmp.path()])
+        .output()
+        .expect("spawn check-manifest");
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stderr).contains("ok"));
 }
