@@ -7,16 +7,23 @@
 //!
 //! ```text
 //! cargo run --release -p swcc-bench --bin swcc-bench
+//! swcc-bench --compare old.json new.json [--tolerance <pct>]
 //! ```
 //!
 //! Unlike the Criterion benches this is a single fast pass (median of
 //! a few dozen batched samples), intended for regression tracking and
-//! for the README's performance table.
+//! for the README's performance table. `--compare` diffs two reports
+//! and exits nonzero when a machine-independent quantity (speedup
+//! ratio, solver iteration count) regressed — the perf half of CI's
+//! regression gate (the tolerance applies to the ratios; counts must
+//! match exactly).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use serde::Serialize;
+use swcc_bench::compare::compare_reports;
+use swcc_bench::BENCH_SCHEMA;
 use swcc_core::bus::{analyze_bus, analyze_bus_sweep};
 use swcc_core::network::WarmSolver;
 use swcc_core::queue::{machine_repairman, machine_repairman_sweep};
@@ -94,6 +101,10 @@ struct PatelBench {
 
 #[derive(Debug, Serialize)]
 struct Report {
+    /// Always [`BENCH_SCHEMA`]; `--compare` rejects foreign revisions.
+    schema: String,
+    /// Timed samples per measurement (the median is reported).
+    samples: usize,
     generated_by: String,
     mva_curve: CurveBench,
     bus_curve_dragon: CurveBench,
@@ -155,6 +166,8 @@ fn run() -> Report {
     let warm_iterations = sweep_rates(&mut solver, false);
 
     Report {
+        schema: BENCH_SCHEMA.to_string(),
+        samples: SAMPLES,
         generated_by: format!(
             "swcc-bench {} (median of {SAMPLES} samples x {ITERS} iterations)",
             env!("CARGO_PKG_VERSION")
@@ -175,9 +188,64 @@ fn run() -> Report {
     }
 }
 
+/// Default `--compare` tolerance on speedup ratios, in percent.
+const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
+
+fn compare_cmd(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tolerance_pct = DEFAULT_TOLERANCE_PCT;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance" {
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("--tolerance needs a value (percent)");
+                return ExitCode::FAILURE;
+            };
+            match value.parse::<f64>() {
+                Ok(p) => tolerance_pct = p,
+                Err(_) => {
+                    eprintln!("--tolerance: not a number: {value}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: swcc-bench --compare old.json new.json [--tolerance <pct>]");
+        return ExitCode::FAILURE;
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let outcome = read(old_path)
+        .and_then(|old| read(new_path).map(|new| (old, new)))
+        .and_then(|(old, new)| compare_reports(&old, &new, tolerance_pct / 100.0));
+    match outcome {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if outcome.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        return compare_cmd(&args[1..]);
+    }
+    let path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_sweep.json".to_string());
     let report = run();
     let json = match serde_json::to_string_pretty(&report) {

@@ -11,6 +11,15 @@
 //! Run with `cargo bench --workspace`. The simulation-backed benchmarks
 //! use the `quick` experiment profile and reduced sample counts so a
 //! full `cargo bench` completes in minutes.
+//!
+//! The [`compare`] module backs `swcc-bench --compare old.json
+//! new.json`, the perf half of CI's regression gate.
+
+pub mod compare;
+
+/// Schema identifier written into (and expected from) every
+/// `BENCH_sweep.json` report.
+pub const BENCH_SCHEMA: &str = "swcc-bench/v1";
 
 /// Returns the quick run options shared by all benches, so every bench
 /// times the same workload an experiment smoke test runs.

@@ -170,6 +170,18 @@ pub fn analyze_bus_sweep(
     system: &BusSystemModel,
     max_processors: u32,
 ) -> Result<Vec<BusPerformance>> {
+    let tracing = swcc_obs::trace_enabled();
+    let _sweep_span = if tracing {
+        swcc_obs::span(
+            metrics::EV_BUS_SWEEP,
+            &[
+                swcc_obs::Field::text("scheme", scheme.to_string()),
+                swcc_obs::Field::u64("points", u64::from(max_processors)),
+            ],
+        )
+    } else {
+        swcc_obs::span(metrics::EV_BUS_SWEEP, &[])
+    };
     let demand = scheme_demand(scheme, workload, system)?;
     let sweep =
         machine_repairman_sweep(max_processors, demand.interconnect(), demand.think_time())?;
@@ -180,12 +192,26 @@ pub fn analyze_bus_sweep(
     Ok(sweep
         .points()
         .iter()
-        .map(|mva| BusPerformance {
-            scheme,
-            processors: mva.customers(),
-            demand,
-            waiting: mva.waiting(),
-            bus_utilization: mva.server_utilization(),
+        .map(|mva| {
+            let point = BusPerformance {
+                scheme,
+                processors: mva.customers(),
+                demand,
+                waiting: mva.waiting(),
+                bus_utilization: mva.server_utilization(),
+            };
+            if tracing {
+                swcc_obs::event_sampled(
+                    metrics::EV_BUS_SWEEP_POINT,
+                    &[
+                        swcc_obs::Field::u64("n", u64::from(point.processors)),
+                        swcc_obs::Field::f64("power", point.power()),
+                        swcc_obs::Field::f64("utilization", point.utilization()),
+                        swcc_obs::Field::f64("wait", point.waiting),
+                    ],
+                );
+            }
+            point
         })
         .collect())
 }

@@ -58,6 +58,37 @@ pub const NETWORK_CURVES: &str = "core.network.curves";
 /// Network operating points produced inside warm-started curves.
 pub const NETWORK_CURVE_POINTS: &str = "core.network.curve_points";
 
+// --- Trace event names (see `swcc_obs::trace`) -------------------------
+//
+// Counters above answer "how much"; the span/point events below answer
+// "in what order and with what intermediate values". Nothing is emitted
+// unless a trace sink is installed ([`swcc_obs::install_sink`]).
+
+/// Span around one Patel fixed-point solve. Fields: `rate`, `size`,
+/// `stages`, `warm`, `legacy`.
+pub const EV_SOLVER_SOLVE: &str = "patel.solve";
+/// Sampled per-iteration convergence point inside a solve. Fields:
+/// `iter`, `x` (current `U` probe), `residual`, `lo`, `hi` (bracket).
+pub const EV_SOLVER_ITERATION: &str = "patel.iteration";
+/// Terminal record of a solve. Fields: `iterations`, `fallbacks`,
+/// `root`, `converged` (false means the iteration cap was hit with the
+/// bracket still wider than the tolerance — a divergence).
+pub const EV_SOLVER_RESULT: &str = "patel.result";
+/// Span around one incremental MVA sweep. Fields: `max_customers`,
+/// `service`, `think`.
+pub const EV_MVA_SWEEP: &str = "mva.sweep";
+/// Span around one whole-curve bus sweep. Fields: `scheme`, `points`.
+pub const EV_BUS_SWEEP: &str = "bus.sweep";
+/// Sampled per-population point inside a bus sweep. Fields: `n`,
+/// `power`, `utilization`, `wait`.
+pub const EV_BUS_SWEEP_POINT: &str = "bus.sweep_point";
+/// Span around one warm-started network power curve. Fields: `scheme`,
+/// `max_stages`.
+pub const EV_NETWORK_CURVE: &str = "network.curve";
+/// Sampled per-stage point inside a network curve. Fields: `stages`,
+/// `cpus`, `power`, `think_fraction`, `warm_iterations`.
+pub const EV_NETWORK_CURVE_POINT: &str = "network.curve_point";
+
 /// Registers every model-layer metric on the builder.
 #[must_use]
 pub fn register(builder: RegistryBuilder) -> RegistryBuilder {

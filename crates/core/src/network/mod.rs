@@ -165,6 +165,18 @@ pub fn network_power_curve(
             interconnect: "multistage network",
         });
     }
+    let tracing = swcc_obs::trace_enabled();
+    let _curve_span = if tracing {
+        swcc_obs::span(
+            metrics::EV_NETWORK_CURVE,
+            &[
+                swcc_obs::Field::text("scheme", scheme.to_string()),
+                swcc_obs::Field::u64("max_stages", u64::from(max_stages)),
+            ],
+        )
+    } else {
+        swcc_obs::span(metrics::EV_NETWORK_CURVE, &[])
+    };
     let mut solver = patel::WarmSolver::new();
     let curve: Result<Vec<NetworkPerformance>> = (0..=max_stages)
         .map(|stages| {
@@ -172,12 +184,28 @@ pub fn network_power_curve(
             let demand = scheme_demand(scheme, workload, &system)?;
             let point =
                 solver.solve(demand.transaction_rate(), demand.transaction_size(), stages)?;
-            Ok(NetworkPerformance {
+            let perf = NetworkPerformance {
                 scheme,
                 stages,
                 demand,
                 point,
-            })
+            };
+            if tracing {
+                swcc_obs::event_sampled(
+                    metrics::EV_NETWORK_CURVE_POINT,
+                    &[
+                        swcc_obs::Field::u64("stages", u64::from(stages)),
+                        swcc_obs::Field::u64("cpus", u64::from(perf.processors())),
+                        swcc_obs::Field::f64("power", perf.power()),
+                        swcc_obs::Field::f64("think_fraction", point.think_fraction()),
+                        swcc_obs::Field::u64(
+                            "warm_iterations",
+                            u64::from(solver.last_iterations()),
+                        ),
+                    ],
+                );
+            }
+            Ok(perf)
         })
         .collect();
     let curve = curve?;

@@ -26,6 +26,7 @@
 //! is strictly decreasing in `U`).
 
 use serde::{Deserialize, Serialize};
+use swcc_obs::Field;
 
 use crate::error::{ModelError, Result};
 use crate::metrics;
@@ -134,6 +135,21 @@ pub fn solve(rate: f64, size: f64, stages: u32) -> Result<OperatingPoint> {
     // Residual f(U) = m_n(1−U) − U·m·t is strictly decreasing:
     // f(0) = propagate(1) ≥ 0, f(1) = −m·t < 0.
     let residual = |u: f64| propagate(1.0 - u, stages) - u * demand;
+    let tracing = swcc_obs::trace_enabled();
+    let _solve_span = if tracing {
+        swcc_obs::span(
+            metrics::EV_SOLVER_SOLVE,
+            &[
+                Field::f64("rate", rate),
+                Field::f64("size", size),
+                Field::u64("stages", u64::from(stages)),
+                Field::bool("warm", false),
+                Field::bool("legacy", true),
+            ],
+        )
+    } else {
+        swcc_obs::span(metrics::EV_SOLVER_SOLVE, &[])
+    };
     let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
     if residual(lo) < 0.0 {
         return Err(ModelError::Convergence {
@@ -141,9 +157,22 @@ pub fn solve(rate: f64, size: f64, stages: u32) -> Result<OperatingPoint> {
             residual: residual(lo),
         });
     }
-    for _ in 0..200 {
+    for iter in 0..200u32 {
         let mid = 0.5 * (lo + hi);
-        if residual(mid) >= 0.0 {
+        let f = residual(mid);
+        if tracing {
+            swcc_obs::event_sampled(
+                metrics::EV_SOLVER_ITERATION,
+                &[
+                    Field::u64("iter", u64::from(iter + 1)),
+                    Field::f64("x", mid),
+                    Field::f64("residual", f),
+                    Field::f64("lo", lo),
+                    Field::f64("hi", hi),
+                ],
+            );
+        }
+        if f >= 0.0 {
             lo = mid;
         } else {
             hi = mid;
@@ -155,6 +184,17 @@ pub fn solve(rate: f64, size: f64, stages: u32) -> Result<OperatingPoint> {
         swcc_obs::counter_add(metrics::SOLVER_RESIDUAL_EVALS, 201);
     }
     let u = 0.5 * (lo + hi);
+    if tracing {
+        swcc_obs::event(
+            metrics::EV_SOLVER_RESULT,
+            &[
+                Field::u64("iterations", 200),
+                Field::u64("fallbacks", 0),
+                Field::f64("root", u),
+                Field::bool("converged", true),
+            ],
+        );
+    }
     Ok(OperatingPoint {
         stages,
         rate,
@@ -283,11 +323,39 @@ fn solve_inner(
     } else {
         1.0 / (1.0 + demand)
     };
+    let tracing = swcc_obs::trace_enabled();
+    let _solve_span = if tracing {
+        swcc_obs::span(
+            metrics::EV_SOLVER_SOLVE,
+            &[
+                Field::f64("rate", rate),
+                Field::f64("size", size),
+                Field::u64("stages", u64::from(stages)),
+                Field::bool("warm", warm),
+                Field::bool("legacy", false),
+            ],
+        )
+    } else {
+        swcc_obs::span(metrics::EV_SOLVER_SOLVE, &[])
+    };
     let mut iterations = 0u32;
     let mut fallbacks = 0u64;
+    let mut converged = true;
     let u = loop {
         let (f, slope) = residual_and_slope(x);
         iterations += 1;
+        if tracing {
+            swcc_obs::event_sampled(
+                metrics::EV_SOLVER_ITERATION,
+                &[
+                    Field::u64("iter", u64::from(iterations)),
+                    Field::f64("x", x),
+                    Field::f64("residual", f),
+                    Field::f64("lo", lo),
+                    Field::f64("hi", hi),
+                ],
+            );
+        }
         if f >= 0.0 {
             lo = x;
         } else {
@@ -297,7 +365,14 @@ fn solve_inner(
         if step.abs() <= 0.5 * options.tolerance {
             break (x + step).clamp(lo, hi);
         }
-        if hi - lo <= options.tolerance || iterations >= 200 {
+        if hi - lo <= options.tolerance {
+            break 0.5 * (lo + hi);
+        }
+        if iterations >= 200 {
+            // Iteration cap with the bracket still wider than the
+            // tolerance: the answer is the best midpoint, but the solve
+            // did not converge. trace-report flags this as a divergence.
+            converged = false;
             break 0.5 * (lo + hi);
         }
         let newton = x + step;
@@ -308,6 +383,17 @@ fn solve_inner(
             0.5 * (lo + hi)
         };
     };
+    if tracing {
+        swcc_obs::event(
+            metrics::EV_SOLVER_RESULT,
+            &[
+                Field::u64("iterations", u64::from(iterations)),
+                Field::u64("fallbacks", fallbacks),
+                Field::f64("root", u),
+                Field::bool("converged", converged),
+            ],
+        );
+    }
     if swcc_obs::enabled() {
         swcc_obs::counter_add(metrics::SOLVER_SOLVES, 1);
         swcc_obs::counter_add(metrics::SOLVER_RESIDUAL_EVALS, u64::from(iterations));

@@ -271,6 +271,18 @@ pub fn machine_repairman_sweep(max_customers: u32, service: f64, think: f64) -> 
         swcc_obs::counter_add(metrics::MVA_SWEEPS, 1);
         swcc_obs::counter_add(metrics::MVA_SWEEP_POINTS, u64::from(max_customers));
     }
+    let _sweep_span = if swcc_obs::trace_enabled() {
+        swcc_obs::span(
+            metrics::EV_MVA_SWEEP,
+            &[
+                swcc_obs::Field::u64("max_customers", u64::from(max_customers)),
+                swcc_obs::Field::f64("service", service),
+                swcc_obs::Field::f64("think", think),
+            ],
+        )
+    } else {
+        swcc_obs::span(metrics::EV_MVA_SWEEP, &[])
+    };
     let mut points = Vec::with_capacity(max_customers as usize);
     if service == 0.0 {
         for k in 1..=max_customers {

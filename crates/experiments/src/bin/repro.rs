@@ -5,6 +5,8 @@
 //! repro all [options]                         run every experiment
 //! repro <id>... [options]                     run selected experiments
 //! repro check-manifest <path>                 validate a run manifest
+//! repro trace-report <path>                   summarize a --trace JSONL file
+//! repro accuracy [--quick] [--baseline PATH]  run the model-accuracy gate
 //!
 //! options:
 //!   --quick            shorten the synthetic traces of simulation-backed
@@ -15,7 +17,16 @@
 //!   --metrics          print solver/runner metric totals to stderr after
 //!                      the run
 //!   --manifest PATH    write a schema-versioned JSON run manifest
+//!   --trace PATH       record a structured span/event trace as JSONL
+//!   --trace-sample N   keep 1 in N high-frequency (sampled-class) events
+//!                      (default 16; 1 keeps everything)
 //! ```
+//!
+//! `trace-report` renders per-phase timings, solver convergence
+//! diagnostics, and the model-vs-sim accuracy table from a trace file,
+//! and exits nonzero if any solver diverged. `accuracy` re-runs the
+//! validation figures against the checked-in tolerance baseline
+//! (`baselines/accuracy.json`) and exits nonzero on a breach.
 //!
 //! `--all` is accepted as a flag alias for the `all` subcommand; it
 //! cannot be combined with explicit ids. Repeated ids run once, repeated
@@ -29,9 +40,20 @@ use std::num::NonZeroUsize;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use swcc_experiments::gate::{run_gate, AccuracyBaseline};
 use swcc_experiments::manifest::{ManifestOptions, RunManifest};
 use swcc_experiments::registry::{find, RunOptions, EXPERIMENTS};
 use swcc_experiments::runner::{self, default_jobs, run_selected_observed};
+use swcc_experiments::trace_report;
+
+/// Default path of the accuracy-gate tolerance baseline.
+const DEFAULT_ACCURACY_BASELINE: &str = "baselines/accuracy.json";
+
+/// Trace lines the JSONL sink can hold before counting drops.
+const TRACE_CAPACITY: usize = 1_000_000;
+
+/// Default 1-in-N sampling of high-frequency trace events.
+const TRACE_SAMPLE_DEFAULT: u64 = 16;
 
 /// Prints to stdout, exiting quietly if the reader closed the pipe
 /// (e.g. `repro all | head`).
@@ -48,8 +70,11 @@ macro_rules! say {
 
 fn usage() {
     eprintln!(
-        "usage: repro list | check-manifest <path> | all [options] | <id>... [options]\n\
-         options: [--quick] [--json] [--jobs N] [--metrics] [--manifest PATH]"
+        "usage: repro list | check-manifest <path> | trace-report <path> |\n\
+         \x20      accuracy [--quick] [--baseline PATH] |\n\
+         \x20      all [options] | <id>... [options]\n\
+         options: [--quick] [--json] [--jobs N] [--metrics] [--manifest PATH]\n\
+         \x20        [--trace PATH] [--trace-sample N]"
     );
     eprintln!("ids:");
     for e in EXPERIMENTS {
@@ -129,6 +154,64 @@ fn check_manifest(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn trace_report_cmd(path: &str) -> ExitCode {
+    let jsonl = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match trace_report::analyze(&jsonl) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    say!("{}", report.render().trim_end());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn accuracy_cmd(quick: bool, baseline_path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(baseline_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match AccuracyBaseline::from_json(&json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::default()
+    };
+    let outcome = match run_gate(&baseline, &opts.validation) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    say!("{}", outcome.render().trim_end());
+    if outcome.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = take_flag(&mut args, "--quick");
@@ -159,13 +242,57 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let trace_path = match take_value_flag(&mut args, "--trace") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace_sample = match take_value_flag(&mut args, "--trace-sample") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace_sample = match trace_sample
+        .as_deref()
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--trace-sample: not a number: {v}"))
+        })
+        .transpose()
+    {
+        Ok(s) => s.unwrap_or(TRACE_SAMPLE_DEFAULT),
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_path = match take_value_flag(&mut args, "--baseline") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
     if let Some(unknown) = args.iter().find(|a| a.starts_with('-')) {
         eprintln!("unknown option: {unknown}");
         usage();
         return ExitCode::FAILURE;
     }
-    let any_option =
-        quick || json || all_flag || metrics || jobs.is_some() || manifest_path.is_some();
+    let run_option = json
+        || all_flag
+        || metrics
+        || jobs.is_some()
+        || manifest_path.is_some()
+        || trace_path.is_some();
+    let any_option = quick || run_option || baseline_path.is_some();
     if args.first().map(String::as_str) == Some("list") {
         if any_option || args.len() > 1 {
             eprintln!("list takes no options or arguments");
@@ -183,6 +310,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         return check_manifest(&args[1]);
+    }
+    if args.first().map(String::as_str) == Some("trace-report") {
+        if any_option || args.len() != 2 {
+            eprintln!("usage: repro trace-report <path>");
+            return ExitCode::FAILURE;
+        }
+        return trace_report_cmd(&args[1]);
+    }
+    if args.first().map(String::as_str) == Some("accuracy") {
+        if run_option || args.len() > 1 {
+            eprintln!("usage: repro accuracy [--quick] [--baseline PATH]");
+            return ExitCode::FAILURE;
+        }
+        return accuracy_cmd(
+            quick,
+            baseline_path
+                .as_deref()
+                .unwrap_or(DEFAULT_ACCURACY_BASELINE),
+        );
+    }
+    if baseline_path.is_some() {
+        eprintln!("--baseline only applies to the accuracy subcommand");
+        usage();
+        return ExitCode::FAILURE;
     }
     if args.is_empty() && !all_flag {
         usage();
@@ -231,6 +382,18 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    let trace_sink = if let Some(path) = &trace_path {
+        let sink: &'static swcc_obs::JsonlSink = Box::leak(Box::new(
+            swcc_obs::JsonlSink::with_sampling(TRACE_CAPACITY, trace_sample.max(1)),
+        ));
+        if swcc_obs::install_sink(sink).is_err() {
+            eprintln!("cannot install trace sink");
+            return ExitCode::FAILURE;
+        }
+        Some((sink, path.as_str()))
+    } else {
+        None
+    };
     let jobs = jobs.unwrap_or_else(|| NonZeroUsize::new(1).expect("1 is non-zero"));
     let count = selected.len();
     let wall = Instant::now();
@@ -273,6 +436,17 @@ fn main() -> ExitCode {
         if metrics {
             eprint!("{}", totals.render());
         }
+    }
+    if let Some((sink, path)) = trace_sink {
+        if let Err(e) = sink.write_to(path) {
+            eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} trace event(s) to {path} ({} dropped)",
+            sink.len(),
+            sink.dropped()
+        );
     }
     eprintln!(
         "ran {count} experiment(s) with {jobs} job(s) in {:.1} ms",

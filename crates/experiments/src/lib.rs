@@ -40,14 +40,16 @@
 pub mod artifact;
 pub mod extensions;
 pub mod figures;
+pub mod gate;
 pub mod manifest;
 pub mod plot;
 pub mod registry;
 pub mod runner;
 pub mod tables;
+pub mod trace_report;
 pub mod validation;
 
 pub use artifact::{Artifact, Figure, Series, Table};
-pub use manifest::{RunManifest, MANIFEST_SCHEMA};
+pub use manifest::{BuildProvenance, RunManifest, MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1};
 pub use registry::{find, Experiment, RunOptions, EXPERIMENTS};
 pub use runner::{default_jobs, run_all, run_selected, run_selected_observed, RunRecord};

@@ -8,17 +8,63 @@
 //! artifacts.
 //!
 //! The schema string ([`MANIFEST_SCHEMA`]) is checked on load:
-//! [`RunManifest::from_json`] rejects manifests written by a different
-//! schema revision instead of misinterpreting them.
+//! [`RunManifest::from_json`] accepts the current revision and the
+//! previous one ([`MANIFEST_SCHEMA_V1`], which predates build
+//! provenance), and rejects anything else instead of misinterpreting
+//! it.
 
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use swcc_obs::MetricsSnapshot;
 
 use crate::registry::EXPERIMENTS;
 use crate::runner::RunRecord;
 
-/// Schema identifier written into (and required from) every manifest.
-pub const MANIFEST_SCHEMA: &str = "swcc-run-manifest/v1";
+/// Schema identifier written into every newly created manifest.
+pub const MANIFEST_SCHEMA: &str = "swcc-run-manifest/v2";
+
+/// The previous manifest revision (no `build` section), still accepted
+/// by [`RunManifest::from_json`] so archived manifests keep validating.
+pub const MANIFEST_SCHEMA_V1: &str = "swcc-run-manifest/v1";
+
+/// Build provenance stamped into v2 manifests at compile time (see
+/// `build.rs`). Every field degrades to `"unknown"` rather than
+/// failing — e.g. a build from a source tarball has no git commit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildProvenance {
+    /// Abbreviated git commit the binary was built from.
+    pub git_commit: String,
+    /// `rustc --version` of the compiling toolchain.
+    pub rustc: String,
+    /// `cargo --version` of the driving cargo.
+    pub cargo: String,
+    /// Cargo build profile (`"debug"` / `"release"`).
+    pub profile: String,
+}
+
+impl BuildProvenance {
+    /// The provenance baked into this binary.
+    pub fn current() -> Self {
+        BuildProvenance {
+            git_commit: option_env!("SWCC_GIT_COMMIT")
+                .unwrap_or("unknown")
+                .to_string(),
+            rustc: option_env!("SWCC_RUSTC").unwrap_or("unknown").to_string(),
+            cargo: option_env!("SWCC_CARGO").unwrap_or("unknown").to_string(),
+            profile: option_env!("SWCC_PROFILE").unwrap_or("unknown").to_string(),
+        }
+    }
+
+    /// The all-`"unknown"` provenance used when upgrading v1 manifests.
+    fn unknown() -> Self {
+        BuildProvenance {
+            git_commit: "unknown".to_string(),
+            rustc: "unknown".to_string(),
+            cargo: "unknown".to_string(),
+            profile: "unknown".to_string(),
+        }
+    }
+}
 
 /// One named counter value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -142,8 +188,12 @@ pub struct RunTotals {
 /// A complete, schema-versioned record of one `repro` run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
-    /// Always [`MANIFEST_SCHEMA`]; checked by [`RunManifest::from_json`].
+    /// [`MANIFEST_SCHEMA`] on new manifests; [`MANIFEST_SCHEMA_V1`] is
+    /// preserved when loading an old file.
     pub schema: String,
+    /// Build provenance of the binary that wrote the manifest
+    /// (all-`"unknown"` for upgraded v1 manifests).
+    pub build: BuildProvenance,
     /// The options the run used.
     pub options: ManifestOptions,
     /// Per-experiment entries, in run order.
@@ -165,6 +215,7 @@ impl RunManifest {
     ) -> Self {
         RunManifest {
             schema: MANIFEST_SCHEMA.to_string(),
+            build: BuildProvenance::current(),
             options,
             experiments: records
                 .iter()
@@ -192,21 +243,35 @@ impl RunManifest {
 
     /// Parses a manifest, rejecting unknown schema revisions.
     ///
+    /// A [`MANIFEST_SCHEMA_V1`] manifest is upgraded in place: its
+    /// schema string is preserved and its missing `build` section is
+    /// filled with `"unknown"` provenance.
+    ///
     /// # Errors
     ///
     /// Returns a human-readable message if the JSON is malformed, does
     /// not match the manifest shape, or declares a schema other than
-    /// [`MANIFEST_SCHEMA`].
+    /// [`MANIFEST_SCHEMA`] or [`MANIFEST_SCHEMA_V1`].
     pub fn from_json(json: &str) -> Result<Self, String> {
-        let manifest: RunManifest =
+        let value: Value =
             serde_json::from_str(json).map_err(|e| format!("invalid manifest: {e}"))?;
-        if manifest.schema != MANIFEST_SCHEMA {
-            return Err(format!(
-                "unsupported manifest schema {:?} (expected {MANIFEST_SCHEMA:?})",
-                manifest.schema
-            ));
+        let schema = value
+            .get_field("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "manifest has no schema field".to_string())?;
+        match schema {
+            MANIFEST_SCHEMA => {
+                serde_json::from_str(json).map_err(|e| format!("invalid manifest: {e}"))
+            }
+            MANIFEST_SCHEMA_V1 => {
+                let v1: RunManifestV1 =
+                    serde_json::from_str(json).map_err(|e| format!("invalid v1 manifest: {e}"))?;
+                Ok(v1.upgrade())
+            }
+            other => Err(format!(
+                "unsupported manifest schema {other:?} (expected {MANIFEST_SCHEMA:?} or {MANIFEST_SCHEMA_V1:?})"
+            )),
         }
-        Ok(manifest)
     }
 
     /// The entry for one experiment id, if present.
@@ -223,6 +288,31 @@ impl RunManifest {
             .map(|e| e.id)
             .filter(|id| self.experiment(id).is_none())
             .collect()
+    }
+}
+
+/// The v1 manifest shape — identical to [`RunManifest`] minus the
+/// `build` section. The vendored serde has no `#[serde(default)]`, so
+/// old files are read through this mirror and upgraded explicitly.
+#[derive(Debug, Clone, Deserialize)]
+struct RunManifestV1 {
+    schema: String,
+    options: ManifestOptions,
+    experiments: Vec<ExperimentRun>,
+    totals: RunTotals,
+    metrics: MetricsReport,
+}
+
+impl RunManifestV1 {
+    fn upgrade(self) -> RunManifest {
+        RunManifest {
+            schema: self.schema,
+            build: BuildProvenance::unknown(),
+            options: self.options,
+            experiments: self.experiments,
+            totals: self.totals,
+            metrics: self.metrics,
+        }
     }
 }
 
@@ -280,6 +370,39 @@ mod tests {
         manifest.schema = "swcc-run-manifest/v0".to_string();
         let err = RunManifest::from_json(&manifest.to_json()).unwrap_err();
         assert!(err.contains("unsupported manifest schema"), "{err}");
+    }
+
+    #[test]
+    fn accepts_v1_manifests_without_build_section() {
+        let v1_json = r#"{
+            "schema": "swcc-run-manifest/v1",
+            "options": {"quick": true, "jobs": 1},
+            "experiments": [],
+            "totals": {"experiments": 0, "wall_ms": 1.5},
+            "metrics": {"counters": [], "gauges": [], "histograms": []}
+        }"#;
+        let manifest = RunManifest::from_json(v1_json).unwrap();
+        assert_eq!(manifest.schema, MANIFEST_SCHEMA_V1);
+        assert_eq!(manifest.build.git_commit, "unknown");
+        assert_eq!(manifest.build.profile, "unknown");
+        assert_eq!(manifest.totals.experiments, 0);
+    }
+
+    #[test]
+    fn new_manifests_carry_build_provenance() {
+        let manifest = sample_manifest();
+        assert_eq!(manifest.schema, MANIFEST_SCHEMA);
+        for field in [
+            &manifest.build.git_commit,
+            &manifest.build.rustc,
+            &manifest.build.cargo,
+            &manifest.build.profile,
+        ] {
+            assert!(!field.is_empty(), "provenance fields are never empty");
+        }
+        // The test binary is always built by cargo, so at least the
+        // profile must have resolved to a real value.
+        assert_ne!(manifest.build.profile, "unknown");
     }
 
     #[test]

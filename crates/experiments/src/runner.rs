@@ -29,6 +29,14 @@ use swcc_obs::{MetricsSnapshot, RegistryBuilder};
 use crate::artifact::Artifact;
 use crate::registry::{Experiment, RunOptions, EXPERIMENTS};
 
+/// Span around one whole runner batch. Fields: `experiments`, `workers`,
+/// `observe`.
+pub const EV_RUNNER_BATCH: &str = "runner.batch";
+/// Span around one experiment, opened on the worker thread and parented
+/// (cross-thread) to the batch span. Fields: `id`, `worker`,
+/// `queue_wait_ms`.
+pub const EV_RUNNER_EXPERIMENT: &str = "runner.experiment";
+
 /// Experiments completed by the runner (all batches).
 pub const RUNNER_EXPERIMENTS: &str = "runner.experiments";
 /// Worker threads used by the most recent batch.
@@ -125,6 +133,20 @@ pub fn run_selected_observed(
     if observe {
         swcc_obs::gauge_set(RUNNER_WORKERS, workers as f64);
     }
+    let tracing = swcc_obs::trace_enabled();
+    let batch_span = if tracing {
+        swcc_obs::span(
+            EV_RUNNER_BATCH,
+            &[
+                swcc_obs::Field::u64("experiments", experiments.len() as u64),
+                swcc_obs::Field::u64("workers", workers as u64),
+                swcc_obs::Field::bool("observe", observe),
+            ],
+        )
+    } else {
+        swcc_obs::span(EV_RUNNER_BATCH, &[])
+    };
+    let batch_span_id = batch_span.id();
     let cursor = AtomicUsize::new(0);
     let batch_start = Instant::now();
     let (tx, rx) = mpsc::channel::<(usize, RunRecord)>();
@@ -136,6 +158,21 @@ pub fn run_selected_observed(
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(exp) = experiments.get(i) else { break };
                 let queue_wait = batch_start.elapsed();
+                // Worker threads have no thread-local link to the batch
+                // span, so parent explicitly across the thread boundary.
+                let exp_span = if tracing {
+                    swcc_obs::span_under(
+                        EV_RUNNER_EXPERIMENT,
+                        batch_span_id,
+                        &[
+                            swcc_obs::Field::str("id", exp.id),
+                            swcc_obs::Field::u64("worker", worker as u64),
+                            swcc_obs::Field::f64("queue_wait_ms", queue_wait.as_secs_f64() * 1e3),
+                        ],
+                    )
+                } else {
+                    swcc_obs::span_under(EV_RUNNER_EXPERIMENT, 0, &[])
+                };
                 let start = Instant::now();
                 let (mut artifact, metrics) = if observe {
                     swcc_obs::capture(|| (exp.run)(options))
@@ -143,6 +180,7 @@ pub fn run_selected_observed(
                     ((exp.run)(options), MetricsSnapshot::default())
                 };
                 let duration = start.elapsed();
+                drop(exp_span);
                 if observe {
                     swcc_obs::counter_add(RUNNER_EXPERIMENTS, 1);
                     swcc_obs::observe(RUNNER_RUN_MS, duration.as_secs_f64() * 1e3);

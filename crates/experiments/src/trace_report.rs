@@ -1,0 +1,497 @@
+//! Rendering of `repro --trace` JSONL files: the `trace-report`
+//! subcommand.
+//!
+//! A trace file is a stream of span/point events (see
+//! [`swcc_obs::trace`]) emitted by the instrumented solvers, sweeps,
+//! simulator, runner, and validation harness. This module folds one
+//! back into the three summaries the paper's diagnostics need:
+//!
+//! * **Per-phase timing** — wall-clock totals per span name plus a
+//!   per-experiment breakdown from the runner's spans.
+//! * **Convergence diagnostics** — the distribution of Patel solver
+//!   iterations to tolerance, warm-start provenance, bracket
+//!   fallbacks, and *divergences*: solves that hit the iteration cap
+//!   with the root bracket still wider than the tolerance.
+//! * **Model-vs-simulation accuracy** — per validation curve, the
+//!   worst relative gap between the analytic model and the trace-driven
+//!   simulation (the Fig 1 envelope, paper §3).
+//!
+//! [`TraceReport::is_clean`] is the gate the `trace-report` subcommand
+//! exposes through its exit code: a report with divergences fails.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use serde_json::Value;
+
+/// One open span's start-record fields, held until its end record.
+#[derive(Debug, Clone, Default)]
+struct SpanInfo {
+    fields: Vec<(String, Value)>,
+}
+
+impl SpanInfo {
+    fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Aggregate timing for one span name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTiming {
+    /// Spans of this name that closed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across them.
+    pub total_ns: u64,
+}
+
+/// One experiment's timing, from its `runner.experiment` span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTiming {
+    /// Experiment id (`"fig1"`, `"table8"`, ...).
+    pub id: String,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Worker thread that ran it.
+    pub worker: u64,
+}
+
+/// Patel solver convergence summary, from `patel.solve` spans and
+/// `patel.result` events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Guarded-Newton solves seen (legacy bisections excluded).
+    pub solves: u64,
+    /// Of those, solves that started from a warm-start hint.
+    pub warm: u64,
+    /// Legacy fixed-200-step bisection solves.
+    pub legacy: u64,
+    /// Iterations-to-tolerance of every non-legacy solve, sorted.
+    pub iterations: Vec<u64>,
+    /// Newton steps that fell back to the bisection midpoint.
+    pub fallbacks: u64,
+    /// Solves that hit the iteration cap unconverged.
+    pub divergences: u64,
+}
+
+impl ConvergenceSummary {
+    /// Smallest iteration count, or 0 with no solves.
+    pub fn min_iterations(&self) -> u64 {
+        self.iterations.first().copied().unwrap_or(0)
+    }
+
+    /// Median iteration count, or 0 with no solves.
+    pub fn median_iterations(&self) -> u64 {
+        if self.iterations.is_empty() {
+            0
+        } else {
+            self.iterations[self.iterations.len() / 2]
+        }
+    }
+
+    /// Largest iteration count, or 0 with no solves.
+    pub fn max_iterations(&self) -> u64 {
+        self.iterations.last().copied().unwrap_or(0)
+    }
+}
+
+/// Model-vs-simulation accuracy for one validation curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// Trace preset name (`"POPS"`, `"PERO"`, ...).
+    pub preset: String,
+    /// Protocol name (`"Base"`, `"Dragon"`, ...).
+    pub protocol: String,
+    /// Cache size in bytes.
+    pub cache_bytes: u64,
+    /// Comparison points on the curve.
+    pub points: u64,
+    /// Worst `|model − sim| / sim` across the curve.
+    pub max_rel_error: f64,
+}
+
+/// Everything `trace-report` extracts from one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Total JSONL records parsed.
+    pub events: u64,
+    /// Point events that were marked sampled at the source (the sink
+    /// may have kept only a fraction of what the source emitted).
+    pub spans: u64,
+    /// Per-span-name wall-clock aggregates, sorted by name.
+    pub phases: BTreeMap<String, PhaseTiming>,
+    /// Per-experiment timings, in the order the spans closed.
+    pub experiments: Vec<ExperimentTiming>,
+    /// Patel solver convergence summary.
+    pub convergence: ConvergenceSummary,
+    /// Model-vs-sim accuracy rows, sorted by (preset, protocol, cache).
+    pub accuracy: Vec<AccuracyRow>,
+}
+
+impl TraceReport {
+    /// `true` when the trace shows no solver divergences — the
+    /// condition the `trace-report` subcommand turns into its exit
+    /// code.
+    pub fn is_clean(&self) -> bool {
+        self.convergence.divergences == 0
+    }
+
+    /// Experiment ids that have a span in this trace.
+    pub fn experiment_ids(&self) -> BTreeSet<&str> {
+        self.experiments.iter().map(|e| e.id.as_str()).collect()
+    }
+
+    /// Worst accuracy gap across every validation curve, if any
+    /// validation points were traced.
+    pub fn worst_rel_error(&self) -> Option<f64> {
+        self.accuracy
+            .iter()
+            .map(|r| r.max_rel_error)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace report: {} events, {} spans",
+            self.events, self.spans
+        );
+
+        out.push_str("\nper-phase timing\n");
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>12} {:>12}",
+            "span", "count", "total ms", "mean ms"
+        );
+        for (name, t) in &self.phases {
+            let total_ms = t.total_ns as f64 / 1e6;
+            let mean_ms = if t.count > 0 {
+                total_ms / t.count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8} {:>12.3} {:>12.4}",
+                name, t.count, total_ms, mean_ms
+            );
+        }
+
+        if !self.experiments.is_empty() {
+            out.push_str("\nexperiment phases\n");
+            let _ = writeln!(out, "  {:<16} {:>12} {:>8}", "id", "ms", "worker");
+            let mut by_duration = self.experiments.clone();
+            by_duration.sort_by(|a, b| b.duration_ns.cmp(&a.duration_ns).then(a.id.cmp(&b.id)));
+            for e in &by_duration {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>12.3} {:>8}",
+                    e.id,
+                    e.duration_ns as f64 / 1e6,
+                    e.worker
+                );
+            }
+        }
+
+        out.push_str("\nsolver convergence\n");
+        let c = &self.convergence;
+        let _ = writeln!(
+            out,
+            "  solves: {} ({} guarded-Newton of which {} warm-started, {} legacy bisections)",
+            c.solves + c.legacy,
+            c.solves,
+            c.warm,
+            c.legacy
+        );
+        let _ = writeln!(
+            out,
+            "  iterations to tolerance: min {} / median {} / max {}",
+            c.min_iterations(),
+            c.median_iterations(),
+            c.max_iterations()
+        );
+        let _ = writeln!(out, "  bracket fallbacks: {}", c.fallbacks);
+        let _ = writeln!(out, "  divergences (iteration cap hit): {}", c.divergences);
+
+        if !self.accuracy.is_empty() {
+            out.push_str("\nmodel-vs-sim accuracy\n");
+            let _ = writeln!(
+                out,
+                "  {:<8} {:<10} {:>10} {:>8} {:>16}",
+                "preset", "protocol", "cache KiB", "points", "max rel error"
+            );
+            for r in &self.accuracy {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:<10} {:>10} {:>8} {:>15.1}%",
+                    r.preset,
+                    r.protocol,
+                    r.cache_bytes / 1024,
+                    r.points,
+                    r.max_rel_error * 100.0
+                );
+            }
+        }
+
+        if self.is_clean() {
+            out.push_str("\nstatus: clean (no solver divergences)\n");
+        } else {
+            let _ = writeln!(
+                out,
+                "\nstatus: FAILED ({} solver divergence(s))",
+                self.convergence.divergences
+            );
+        }
+        out
+    }
+}
+
+fn field_str<'a>(fields: Option<&'a Value>, key: &str) -> Option<&'a str> {
+    fields?.get_field(key)?.as_str()
+}
+
+fn field_u64(fields: Option<&Value>, key: &str) -> Option<u64> {
+    fields?.get_field(key)?.as_u64()
+}
+
+fn field_f64(fields: Option<&Value>, key: &str) -> Option<f64> {
+    fields?.get_field(key)?.as_f64()
+}
+
+fn field_bool(fields: Option<&Value>, key: &str) -> Option<bool> {
+    fields?.get_field(key)?.as_bool()
+}
+
+/// Parses a `repro --trace` JSONL file into a [`TraceReport`].
+///
+/// # Errors
+///
+/// Returns a line-numbered message for the first record that is not a
+/// valid trace event object.
+pub fn analyze(jsonl: &str) -> Result<TraceReport, String> {
+    let mut report = TraceReport::default();
+    // span id → info, filled by start records, closed by end records.
+    let mut open: BTreeMap<u64, SpanInfo> = BTreeMap::new();
+    // (preset, protocol, cache) → (points, worst error).
+    let mut accuracy: BTreeMap<(String, String, u64), (u64, f64)> = BTreeMap::new();
+
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: invalid JSON: {e}", lineno + 1))?;
+        let kind = value
+            .get_field("ev")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing \"ev\"", lineno + 1))?
+            .to_string();
+        let name = value
+            .get_field("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing \"name\"", lineno + 1))?
+            .to_string();
+        let span_id = value.get_field("span").and_then(Value::as_u64).unwrap_or(0);
+        let fields = value.get_field("fields");
+        report.events += 1;
+
+        match kind.as_str() {
+            "start" => {
+                report.spans += 1;
+                open.insert(
+                    span_id,
+                    SpanInfo {
+                        fields: fields
+                            .and_then(Value::as_object)
+                            .map(|o| o.to_vec())
+                            .unwrap_or_default(),
+                    },
+                );
+                if name == "patel.solve" {
+                    report.convergence.solves += 1;
+                    let start = open.get(&span_id).expect("just inserted");
+                    if start.field("warm").and_then(Value::as_bool) == Some(true) {
+                        report.convergence.warm += 1;
+                    }
+                    if start.field("legacy").and_then(Value::as_bool) == Some(true) {
+                        report.convergence.legacy += 1;
+                        report.convergence.solves -= 1;
+                    }
+                }
+            }
+            "end" => {
+                let dur = value
+                    .get_field("dur_ns")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                let info = open.remove(&span_id);
+                let phase = report.phases.entry(name.clone()).or_insert(PhaseTiming {
+                    count: 0,
+                    total_ns: 0,
+                });
+                phase.count += 1;
+                phase.total_ns += dur;
+                if name == "runner.experiment" {
+                    if let Some(info) = &info {
+                        report.experiments.push(ExperimentTiming {
+                            id: info
+                                .field("id")
+                                .and_then(Value::as_str)
+                                .unwrap_or("?")
+                                .to_string(),
+                            duration_ns: dur,
+                            worker: info.field("worker").and_then(Value::as_u64).unwrap_or(0),
+                        });
+                    }
+                }
+            }
+            "point" => match name.as_str() {
+                "patel.result" => {
+                    if let Some(iters) = field_u64(fields, "iterations") {
+                        report.convergence.iterations.push(iters);
+                    }
+                    report.convergence.fallbacks += field_u64(fields, "fallbacks").unwrap_or(0);
+                    if field_bool(fields, "converged") == Some(false) {
+                        report.convergence.divergences += 1;
+                    }
+                }
+                "validation.point" => {
+                    let key = (
+                        field_str(fields, "preset").unwrap_or("?").to_string(),
+                        field_str(fields, "protocol").unwrap_or("?").to_string(),
+                        field_u64(fields, "cache_bytes").unwrap_or(0),
+                    );
+                    let err = field_f64(fields, "rel_error").unwrap_or(0.0);
+                    let entry = accuracy.entry(key).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 = entry.1.max(err);
+                }
+                _ => {}
+            },
+            other => {
+                return Err(format!("line {}: unknown event kind {other:?}", lineno + 1));
+            }
+        }
+    }
+
+    report.convergence.iterations.sort_unstable();
+    report.accuracy = accuracy
+        .into_iter()
+        .map(
+            |((preset, protocol, cache_bytes), (points, max_rel_error))| AccuracyRow {
+                preset,
+                protocol,
+                cache_bytes,
+                points,
+                max_rel_error,
+            },
+        )
+        .collect();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> String {
+        [
+            r#"{"ev":"start","name":"runner.batch","span":1,"parent":0,"seq":0,"thread":1,"fields":{"experiments":2,"workers":2,"observe":true}}"#,
+            r#"{"ev":"start","name":"runner.experiment","span":2,"parent":1,"seq":1,"thread":2,"fields":{"id":"fig1","worker":0,"queue_wait_ms":0.1}}"#,
+            r#"{"ev":"start","name":"patel.solve","span":3,"parent":2,"seq":2,"thread":2,"fields":{"rate":0.03,"size":20,"stages":8,"warm":false,"legacy":false}}"#,
+            r#"{"ev":"point","name":"patel.iteration","span":3,"parent":3,"seq":3,"thread":2,"fields":{"iter":1,"x":0.6,"residual":0.01,"lo":0,"hi":1}}"#,
+            r#"{"ev":"point","name":"patel.result","span":3,"parent":3,"seq":4,"thread":2,"fields":{"iterations":5,"fallbacks":1,"root":0.52,"converged":true}}"#,
+            r#"{"ev":"end","name":"patel.solve","span":3,"parent":2,"seq":5,"thread":2,"dur_ns":4200}"#,
+            r#"{"ev":"start","name":"patel.solve","span":4,"parent":2,"seq":6,"thread":2,"fields":{"rate":0.04,"size":20,"stages":8,"warm":true,"legacy":false}}"#,
+            r#"{"ev":"point","name":"patel.result","span":4,"parent":4,"seq":7,"thread":2,"fields":{"iterations":3,"fallbacks":0,"root":0.5,"converged":true}}"#,
+            r#"{"ev":"end","name":"patel.solve","span":4,"parent":2,"seq":8,"thread":2,"dur_ns":2100}"#,
+            r#"{"ev":"point","name":"validation.point","span":2,"parent":2,"seq":9,"thread":2,"fields":{"preset":"POPS","protocol":"Base","cache_bytes":65536,"n":2,"sim_power":1.8,"model_power":1.7,"rel_error":0.055}}"#,
+            r#"{"ev":"end","name":"runner.experiment","span":2,"parent":1,"seq":10,"thread":2,"dur_ns":9000000}"#,
+            r#"{"ev":"start","name":"runner.experiment","span":5,"parent":1,"seq":11,"thread":3,"fields":{"id":"table1","worker":1,"queue_wait_ms":0.2}}"#,
+            r#"{"ev":"end","name":"runner.experiment","span":5,"parent":1,"seq":12,"thread":3,"dur_ns":1000000}"#,
+            r#"{"ev":"end","name":"runner.batch","span":1,"parent":0,"seq":13,"thread":1,"dur_ns":11000000}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn parses_phase_timing_and_experiments() {
+        let report = analyze(&sample_trace()).unwrap();
+        assert_eq!(report.events, 14);
+        assert_eq!(report.phases["patel.solve"].count, 2);
+        assert_eq!(report.phases["patel.solve"].total_ns, 6300);
+        assert_eq!(report.phases["runner.experiment"].count, 2);
+        assert_eq!(report.experiments.len(), 2);
+        assert!(report.experiment_ids().contains("fig1"));
+        assert!(report.experiment_ids().contains("table1"));
+    }
+
+    #[test]
+    fn summarizes_convergence() {
+        let report = analyze(&sample_trace()).unwrap();
+        let c = &report.convergence;
+        assert_eq!(c.solves, 2);
+        assert_eq!(c.warm, 1);
+        assert_eq!(c.legacy, 0);
+        assert_eq!(c.iterations, vec![3, 5]);
+        assert_eq!(c.fallbacks, 1);
+        assert_eq!(c.divergences, 0);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn flags_divergences() {
+        let trace = sample_trace()
+            + "\n"
+            + r#"{"ev":"point","name":"patel.result","span":0,"parent":0,"seq":14,"thread":2,"fields":{"iterations":200,"fallbacks":12,"root":0.5,"converged":false}}"#;
+        let report = analyze(&trace).unwrap();
+        assert_eq!(report.convergence.divergences, 1);
+        assert!(!report.is_clean());
+        assert!(report.render().contains("FAILED"));
+    }
+
+    #[test]
+    fn accumulates_accuracy_rows() {
+        let report = analyze(&sample_trace()).unwrap();
+        assert_eq!(report.accuracy.len(), 1);
+        let row = &report.accuracy[0];
+        assert_eq!(row.preset, "POPS");
+        assert_eq!(row.protocol, "Base");
+        assert_eq!(row.cache_bytes, 65536);
+        assert_eq!(row.points, 1);
+        assert!((row.max_rel_error - 0.055).abs() < 1e-12);
+        assert_eq!(report.worst_rel_error(), Some(0.055));
+    }
+
+    #[test]
+    fn render_includes_every_section() {
+        let report = analyze(&sample_trace()).unwrap();
+        let text = report.render();
+        for needle in [
+            "per-phase timing",
+            "experiment phases",
+            "solver convergence",
+            "model-vs-sim accuracy",
+            "status: clean",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(analyze("not json").is_err());
+        assert!(analyze(r#"{"name":"x"}"#).is_err());
+        assert!(analyze(r#"{"ev":"wat","name":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let report = analyze("").unwrap();
+        assert_eq!(report.events, 0);
+        assert!(report.is_clean());
+        assert!(report.worst_rel_error().is_none());
+    }
+}

@@ -22,6 +22,13 @@ use swcc_trace::synth::Preset;
 
 use crate::artifact::{Figure, Series};
 
+/// Model-vs-simulation comparison point, one per processor count of each
+/// validation curve. Fields: `preset`, `protocol`, `cache_bytes`, `n`,
+/// `sim_power`, `model_power`, `rel_error`. The `trace-report`
+/// subcommand aggregates these into its accuracy delta table (the Fig 1
+/// gap, paper §3).
+pub const EV_VALIDATION_POINT: &str = "validation.point";
+
 /// Options shared by the simulation-backed experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ValidationOptions {
@@ -60,6 +67,7 @@ fn compare_curves(
         .generate();
     let workload = measure_workload(&full_trace, &config);
 
+    let tracing = swcc_obs::trace_enabled();
     let mut sim_points = Vec::new();
     let mut model_points = Vec::new();
     for n in 1..=max_cpus {
@@ -74,6 +82,27 @@ fn compare_curves(
         let perf = analyze_bus(scheme, &workload, config.system(), u32::from(n))
             .expect("bus analysis cannot fail for valid workloads");
         model_points.push((f64::from(n), perf.power()));
+        if tracing {
+            let sim_power = report.power();
+            let model_power = perf.power();
+            let rel_error = if sim_power > 0.0 {
+                (model_power - sim_power).abs() / sim_power
+            } else {
+                0.0
+            };
+            swcc_obs::event(
+                EV_VALIDATION_POINT,
+                &[
+                    swcc_obs::Field::text("preset", preset.to_string()),
+                    swcc_obs::Field::text("protocol", protocol.to_string()),
+                    swcc_obs::Field::u64("cache_bytes", cache_bytes),
+                    swcc_obs::Field::u64("n", u64::from(n)),
+                    swcc_obs::Field::f64("sim_power", sim_power),
+                    swcc_obs::Field::f64("model_power", model_power),
+                    swcc_obs::Field::f64("rel_error", rel_error),
+                ],
+            );
+        }
     }
     (
         Series::new(format!("{preset} {protocol} sim"), sim_points),

@@ -49,6 +49,7 @@
 mod metric;
 mod recorder;
 mod registry;
+pub mod trace;
 
 pub use metric::{Counter, Gauge, Histogram};
 pub use recorder::{
@@ -58,6 +59,10 @@ pub use recorder::{
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     RegistryBuilder, UNREGISTERED,
+};
+pub use trace::{
+    event, event_sampled, install_sink, span, span_under, trace_enabled, EventKind, EventSink,
+    Field, FieldValue, JsonlSink, Span, TraceEvent,
 };
 
 #[cfg(test)]

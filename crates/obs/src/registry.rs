@@ -165,27 +165,31 @@ impl MetricsRegistry {
             value: self.unregistered.get(),
         });
         counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSnapshot> = self
+            .gauges
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: (*name).to_string(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: (*name).to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
         MetricsSnapshot {
             counters,
-            gauges: self
-                .gauges
-                .iter()
-                .map(|(name, g)| GaugeSnapshot {
-                    name: (*name).to_string(),
-                    value: g.get(),
-                })
-                .collect(),
-            histograms: self
-                .histograms
-                .iter()
-                .map(|(name, h)| HistogramSnapshot {
-                    name: (*name).to_string(),
-                    count: h.count(),
-                    sum: h.sum(),
-                    bounds: h.bounds().to_vec(),
-                    buckets: h.bucket_counts(),
-                })
-                .collect(),
+            gauges,
+            histograms,
         }
     }
 }
@@ -404,6 +408,28 @@ mod tests {
         r.counter_add("dup", 2);
         assert_eq!(r.counter_value("dup"), Some(2));
         assert_eq!(r.snapshot().counters.len(), 2, "dup + obs.unregistered");
+    }
+
+    #[test]
+    fn snapshot_orders_every_section_by_name() {
+        let r = RegistryBuilder::new()
+            .counter("z.count")
+            .counter("a.count")
+            .gauge("z.gauge")
+            .gauge("a.gauge")
+            .histogram("z.hist", &[1.0])
+            .histogram("a.hist", &[1.0])
+            .build();
+        let snap = r.snapshot();
+        for section in [
+            snap.counters.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            snap.gauges.iter().map(|g| &g.name).collect::<Vec<_>>(),
+            snap.histograms.iter().map(|h| &h.name).collect::<Vec<_>>(),
+        ] {
+            let mut sorted = section.clone();
+            sorted.sort();
+            assert_eq!(section, sorted, "snapshot sections must be name-sorted");
+        }
     }
 
     #[test]

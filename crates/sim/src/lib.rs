@@ -46,7 +46,9 @@ pub mod protocol;
 mod report;
 
 pub use config::{InterconnectKind, ServiceDiscipline, SharedPolicy, SimConfig, SimConfigBuilder};
-pub use machine::{simulate, CpuCounters, Multiprocessor};
+pub use machine::{
+    simulate, CpuCounters, Multiprocessor, EV_SIM_BUS_OP, EV_SIM_CACHE_FILL, EV_SIM_RUN,
+};
 pub use network::{simulate_network, simulate_network_packet, NetworkSimConfig, NetworkSimReport};
 pub use protocol::ProtocolKind;
 pub use report::SimReport;

@@ -30,6 +30,16 @@ use crate::config::{InterconnectKind, ServiceDiscipline, SimConfig};
 use crate::protocol::{base, dragon, no_cache, software_flush, write_invalidate, ProtocolKind};
 use crate::report::SimReport;
 
+/// Span around one whole trace replay ([`Multiprocessor::run`]).
+/// Fields: `protocol`, `cpus`, `accesses`.
+pub const EV_SIM_RUN: &str = "sim.run";
+/// Sampled per-transaction interconnect arbitration event. Fields:
+/// `cpu`, `op`, `request`, `wait`, `hold`.
+pub const EV_SIM_BUS_OP: &str = "sim.bus_op";
+/// Sampled cache fill (line transition) event. Fields: `cpu`, `block`,
+/// `dirty` (the inserted state), `dirty_victim` (a write-back happened).
+pub const EV_SIM_CACHE_FILL: &str = "sim.cache_fill";
+
 /// Per-processor event counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -156,6 +166,18 @@ impl Multiprocessor {
             trace.cpus(),
             self.time.len()
         );
+        let _run_span = if swcc_obs::trace_enabled() {
+            swcc_obs::span(
+                EV_SIM_RUN,
+                &[
+                    swcc_obs::Field::text("protocol", self.config.protocol().to_string()),
+                    swcc_obs::Field::u64("cpus", self.time.len() as u64),
+                    swcc_obs::Field::u64("accesses", trace.len() as u64),
+                ],
+            )
+        } else {
+            swcc_obs::span(EV_SIM_RUN, &[])
+        };
         // Split the trace into per-cpu substreams.
         let mut streams: Vec<Vec<Access>> = vec![Vec::new(); self.time.len()];
         for a in trace {
@@ -260,6 +282,18 @@ impl Multiprocessor {
             let wait = grant - request;
             self.bus_busy += hold;
             self.counters[cpu].contention_cycles += wait;
+            if swcc_obs::trace_enabled() {
+                swcc_obs::event_sampled(
+                    EV_SIM_BUS_OP,
+                    &[
+                        swcc_obs::Field::u64("cpu", cpu as u64),
+                        swcc_obs::Field::text("op", op.to_string()),
+                        swcc_obs::Field::u64("request", request),
+                        swcc_obs::Field::u64("wait", wait),
+                        swcc_obs::Field::u64("hold", hold),
+                    ],
+                );
+            }
             // The processor holds the operation for its local cycles
             // plus however long the transfer actually took.
             self.time[cpu] = request + wait + u64::from(cost.local()) + hold;
@@ -357,6 +391,17 @@ impl Multiprocessor {
         let dirty = ev.victim.is_some_and(|(_, s)| s.is_dirty());
         if dirty {
             self.counters[cpu].dirty_replacements += 1;
+        }
+        if swcc_obs::trace_enabled() {
+            swcc_obs::event_sampled(
+                EV_SIM_CACHE_FILL,
+                &[
+                    swcc_obs::Field::u64("cpu", cpu as u64),
+                    swcc_obs::Field::u64("block", block.0),
+                    swcc_obs::Field::bool("dirty", state.is_dirty()),
+                    swcc_obs::Field::bool("dirty_victim", dirty),
+                ],
+            );
         }
         dirty
     }

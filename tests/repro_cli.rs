@@ -4,12 +4,14 @@ use std::path::PathBuf;
 use std::process::Command;
 
 use swcc_experiments::manifest::RunManifest;
+use swcc_experiments::trace_report;
 
 fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
 }
 
-/// A per-test scratch path for manifest files, cleaned up on drop.
+/// A per-test scratch path for manifest/trace/baseline files, cleaned
+/// up on drop.
 struct TempManifest(PathBuf);
 
 impl TempManifest {
@@ -432,4 +434,163 @@ fn observation_does_not_change_artifacts_and_manifest_covers_registry() {
         String::from_utf8_lossy(&check.stderr)
     );
     assert!(String::from_utf8_lossy(&check.stderr).contains("ok"));
+}
+
+// --- Tracing: --trace and trace-report ----------------------------------
+
+#[test]
+fn traced_parallel_run_round_trips_and_changes_nothing() {
+    // The tentpole acceptance bar: a traced parallel --all run produces
+    // byte-identical artifacts (modulo runner timing notes), and the
+    // trace round-trips through trace-report with a span for every
+    // experiment, a convergence record for every solve, and zero
+    // divergences.
+    let trace = TempManifest::new("trace");
+    let plain = repro()
+        .args(["--all", "--quick", "--json"])
+        .output()
+        .expect("spawn plain run");
+    assert!(plain.status.success());
+    let traced = repro()
+        .args([
+            "--all",
+            "--quick",
+            "--json",
+            "--jobs",
+            "2",
+            "--trace",
+            trace.path(),
+        ])
+        .output()
+        .expect("spawn traced run");
+    assert!(traced.status.success());
+    assert!(
+        String::from_utf8_lossy(&traced.stderr).contains("trace event(s)"),
+        "traced run must report what it wrote"
+    );
+
+    let mut plain_json: serde_json::Value =
+        serde_json::from_slice(&plain.stdout).expect("plain JSON");
+    let mut traced_json: serde_json::Value =
+        serde_json::from_slice(&traced.stdout).expect("traced JSON");
+    strip_runner_notes(&mut plain_json);
+    strip_runner_notes(&mut traced_json);
+    assert_eq!(
+        plain_json, traced_json,
+        "tracing must not change artifact output"
+    );
+
+    let jsonl = std::fs::read_to_string(trace.path()).expect("trace written");
+    let report = trace_report::analyze(&jsonl).expect("trace parses");
+    assert!(
+        report.is_clean(),
+        "no solver may diverge:\n{}",
+        report.render()
+    );
+    let ids = report.experiment_ids();
+    for e in swcc_experiments::EXPERIMENTS {
+        assert!(ids.contains(e.id), "missing runner span for {}", e.id);
+    }
+    let c = &report.convergence;
+    assert!(c.solves + c.legacy > 0, "solver spans must be traced");
+    assert_eq!(
+        c.iterations.len() as u64,
+        c.solves + c.legacy,
+        "every solve must emit a convergence record"
+    );
+    assert!(
+        !report.accuracy.is_empty(),
+        "validation figures must trace accuracy points"
+    );
+    assert!(report.worst_rel_error().unwrap() < 0.5);
+
+    // The CLI subcommand agrees with the library and exits clean.
+    let rendered = repro()
+        .args(["trace-report", trace.path()])
+        .output()
+        .expect("spawn trace-report");
+    assert!(rendered.status.success());
+    let stdout = String::from_utf8_lossy(&rendered.stdout);
+    assert!(stdout.contains("status: clean"), "{stdout}");
+    assert!(stdout.contains("model-vs-sim accuracy"));
+}
+
+#[test]
+fn trace_report_rejects_garbage_and_missing_files() {
+    let tmp = TempManifest::new("bad-trace");
+    std::fs::write(tmp.path(), "not json at all\n").unwrap();
+    let out = repro()
+        .args(["trace-report", tmp.path()])
+        .output()
+        .expect("spawn trace-report");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    let missing = repro()
+        .args(["trace-report", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("spawn trace-report");
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot read"));
+}
+
+// --- Accuracy gate: repro accuracy --------------------------------------
+
+#[test]
+fn accuracy_gate_passes_the_committed_baseline_and_fails_on_drift() {
+    // Against the committed tolerances the quick run must pass.
+    let pass = repro()
+        .args(["accuracy", "--quick"])
+        .current_dir(env!("CARGO_MANIFEST_DIR").to_string() + "/../..")
+        .output()
+        .expect("spawn accuracy");
+    assert!(
+        pass.status.success(),
+        "stderr: {}\nstdout: {}",
+        String::from_utf8_lossy(&pass.stderr),
+        String::from_utf8_lossy(&pass.stdout)
+    );
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("accuracy gate: passed"));
+
+    // The negative test: a synthetic drifted baseline (an impossible
+    // tolerance) must fail the gate with a nonzero exit code.
+    let drifted = TempManifest::new("drifted-baseline");
+    std::fs::write(
+        drifted.path(),
+        r#"{"schema":"swcc-accuracy-baseline/v1","figures":[{"id":"fig1","max_rel_error":0.0001}]}"#,
+    )
+    .unwrap();
+    let fail = repro()
+        .args(["accuracy", "--quick", "--baseline", drifted.path()])
+        .output()
+        .expect("spawn accuracy");
+    assert!(!fail.status.success(), "drifted baseline must fail");
+    assert!(String::from_utf8_lossy(&fail.stdout).contains("accuracy gate: FAILED"));
+}
+
+#[test]
+fn accuracy_gate_rejects_bad_baselines() {
+    let tmp = TempManifest::new("bad-baseline");
+    std::fs::write(tmp.path(), r#"{"schema":"other/v9","figures":[]}"#).unwrap();
+    let out = repro()
+        .args(["accuracy", "--quick", "--baseline", tmp.path()])
+        .output()
+        .expect("spawn accuracy");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported"));
+    let missing = repro()
+        .args(["accuracy", "--baseline", "/nonexistent/baseline.json"])
+        .output()
+        .expect("spawn accuracy");
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot read"));
+}
+
+#[test]
+fn baseline_flag_is_rejected_outside_accuracy() {
+    let out = repro()
+        .args(["table1", "--baseline", "x.json"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--baseline"));
 }
