@@ -46,7 +46,7 @@ fn median_ns(mut f: impl FnMut()) -> f64 {
     for _ in 0..ITERS {
         f(); // warm-up
     }
-    let mut samples: Vec<f64> = (0..SAMPLES)
+    let samples: Vec<f64> = (0..SAMPLES)
         .map(|_| {
             let start = Instant::now();
             for _ in 0..ITERS {
@@ -55,8 +55,7 @@ fn median_ns(mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
         })
         .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    swcc_obs::quantile::median(&samples).expect("SAMPLES > 0 and Instant yields finite ns")
 }
 
 /// One pointwise-versus-swept comparison over a 1..=n curve.

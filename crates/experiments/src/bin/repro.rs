@@ -6,7 +6,11 @@
 //! repro <id>... [options]                     run selected experiments
 //! repro check-manifest <path>                 validate a run manifest
 //! repro trace-report <path>                   summarize a --trace JSONL file
+//! repro trace-export <path> --format F        convert a trace for other tools
+//! repro history [--last K] [--tolerance PCT]  show run history + drift gate
+//! repro report --html PATH [trace.jsonl]      write the HTML run dashboard
 //! repro accuracy [--quick] [--baseline PATH]  run the model-accuracy gate
+//! repro --version                             print version + build provenance
 //!
 //! options:
 //!   --quick            shorten the synthetic traces of simulation-backed
@@ -20,30 +24,49 @@
 //!   --trace PATH       record a structured span/event trace as JSONL
 //!   --trace-sample N   keep 1 in N high-frequency (sampled-class) events
 //!                      (default 16; 1 keeps everything)
+//!   --record-history   append this run to the run-history log
+//!   --history-file P   history log path (default history/runs.jsonl)
+//!   --format F         trace-export output: chrome | folded
+//!   --out PATH         trace-export destination (default stdout)
 //! ```
 //!
 //! `trace-report` renders per-phase timings, solver convergence
 //! diagnostics, and the model-vs-sim accuracy table from a trace file,
-//! and exits nonzero if any solver diverged. `accuracy` re-runs the
-//! validation figures against the checked-in tolerance baseline
-//! (`baselines/accuracy.json`) and exits nonzero on a breach.
+//! and exits nonzero if any solver diverged. `trace-export` converts a
+//! trace into the Chrome trace-event JSON that `chrome://tracing` and
+//! Perfetto load (`--format chrome`) or collapsed flamegraph stacks
+//! with self-time weights (`--format folded`). `history` prints the
+//! recorded-run trend table and exits nonzero when a machine-independent
+//! quantity drifted beyond tolerance versus its trailing median.
+//! `report --html` writes a single-file dependency-free dashboard.
+//! `accuracy` re-runs the validation figures against the checked-in
+//! tolerance baseline (`baselines/accuracy.json`) and exits nonzero on
+//! a breach.
 //!
 //! `--all` is accepted as a flag alias for the `all` subcommand; it
 //! cannot be combined with explicit ids. Repeated ids run once, repeated
-//! flags apply once (for `--jobs`/`--manifest`, the last value wins).
-//! Output order always matches request order, and every artifact carries
-//! a `runner:` footnote with its wall-clock duration. Observation
-//! (`--metrics`/`--manifest`) never changes the artifacts themselves.
+//! flags apply once (for value flags, the last value wins). Output
+//! order always matches request order, and every artifact carries a
+//! `runner:` footnote with its wall-clock duration. Observation
+//! (`--metrics`/`--manifest`/`--record-history`) never changes the
+//! artifacts themselves.
 
 use std::io::Write;
 use std::num::NonZeroUsize;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use swcc_experiments::gate::{run_gate, AccuracyBaseline};
-use swcc_experiments::manifest::{ManifestOptions, RunManifest};
+use swcc_experiments::history::{
+    append_record, detect_drift, load_history, render_history, HistoryRecord,
+    DEFAULT_DRIFT_TOLERANCE, DEFAULT_HISTORY_PATH,
+};
+use swcc_experiments::html_report::render_dashboard;
+use swcc_experiments::manifest::{BuildProvenance, ManifestOptions, RunManifest};
 use swcc_experiments::registry::{find, RunOptions, EXPERIMENTS};
 use swcc_experiments::runner::{self, default_jobs, run_selected_observed};
+use swcc_experiments::trace_export::{export, ExportFormat};
 use swcc_experiments::trace_report;
 
 /// Default path of the accuracy-gate tolerance baseline.
@@ -71,10 +94,14 @@ macro_rules! say {
 fn usage() {
     eprintln!(
         "usage: repro list | check-manifest <path> | trace-report <path> |\n\
+         \x20      trace-export <path> --format chrome|folded [--out PATH] |\n\
+         \x20      history [--last K] [--tolerance PCT] [--history-file PATH] |\n\
+         \x20      report --html PATH [trace.jsonl] [--history-file PATH] |\n\
          \x20      accuracy [--quick] [--baseline PATH] |\n\
-         \x20      all [options] | <id>... [options]\n\
+         \x20      all [options] | <id>... [options] | --version\n\
          options: [--quick] [--json] [--jobs N] [--metrics] [--manifest PATH]\n\
-         \x20        [--trace PATH] [--trace-sample N]"
+         \x20        [--trace PATH] [--trace-sample N] [--record-history]\n\
+         \x20        [--history-file PATH]"
     );
     eprintln!("ids:");
     for e in EXPERIMENTS {
@@ -162,19 +189,101 @@ fn trace_report_cmd(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match trace_report::analyze(&jsonl) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let report = trace_report::analyze(&jsonl);
     say!("{}", report.render().trim_end());
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn trace_export_cmd(path: &str, format_name: &str, out: Option<&str>) -> ExitCode {
+    let Some(format) = ExportFormat::from_name(format_name) else {
+        eprintln!("--format must be 'chrome' or 'folded', not {format_name:?}");
+        return ExitCode::FAILURE;
+    };
+    let jsonl = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let export = export(&jsonl, format);
+    if export.skipped_lines > 0 {
+        eprintln!("warning: skipped {} corrupt line(s)", export.skipped_lines);
+    }
+    if export.unclosed_spans > 0 {
+        eprintln!(
+            "warning: {} span(s) never closed (omitted from export)",
+            export.unclosed_spans
+        );
+    }
+    match out {
+        Some(out_path) => {
+            if let Err(e) = std::fs::write(out_path, &export.output) {
+                eprintln!("cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} event(s) to {out_path}", export.events);
+        }
+        None => {
+            let mut stdout = std::io::stdout();
+            if stdout.write_all(export.output.as_bytes()).is_err() {
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn history_cmd(history_file: &str, last: usize, tolerance: f64) -> ExitCode {
+    let records = match load_history(Path::new(history_file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    say!("{}", render_history(&records, last).trim_end());
+    if records.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    let outcome = detect_drift(&records, tolerance);
+    say!("{}", outcome.render().trim_end());
+    if outcome.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn report_cmd(html_out: &str, trace_path: Option<&str>, history_file: &str) -> ExitCode {
+    let report = match trace_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(jsonl) => Some(trace_report::analyze(&jsonl)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let history = match load_history(Path::new(history_file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let html = render_dashboard(report.as_ref(), &history);
+    if let Err(e) = std::fs::write(html_out, html) {
+        eprintln!("cannot write {html_out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote dashboard to {html_out}");
+    ExitCode::SUCCESS
 }
 
 fn accuracy_cmd(quick: bool, baseline_path: &str) -> ExitCode {
@@ -214,18 +323,37 @@ fn accuracy_cmd(quick: bool, baseline_path: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version") {
+        if args.len() != 1 {
+            eprintln!("--version takes no other arguments");
+            return ExitCode::FAILURE;
+        }
+        let build = BuildProvenance::current();
+        say!("repro {}", env!("CARGO_PKG_VERSION"));
+        say!("commit  {}", build.git_commit);
+        say!("rustc   {}", build.rustc);
+        say!("cargo   {}", build.cargo);
+        say!("profile {}", build.profile);
+        return ExitCode::SUCCESS;
+    }
     let quick = take_flag(&mut args, "--quick");
     let json = take_flag(&mut args, "--json");
     let all_flag = take_flag(&mut args, "--all");
     let metrics = take_flag(&mut args, "--metrics");
-    let jobs = match take_value_flag(&mut args, "--jobs") {
-        Ok(v) => v,
-        Err(msg) => {
-            eprintln!("{msg}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
+    let record_history = take_flag(&mut args, "--record-history");
+    macro_rules! value_flag {
+        ($name:literal) => {
+            match take_value_flag(&mut args, $name) {
+                Ok(v) => v,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+    }
+    let jobs = value_flag!("--jobs");
     let jobs = match jobs.as_deref().map(parse_jobs).transpose() {
         Ok(j) => j,
         Err(msg) => {
@@ -234,30 +362,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let manifest_path = match take_value_flag(&mut args, "--manifest") {
-        Ok(v) => v,
-        Err(msg) => {
-            eprintln!("{msg}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
-    let trace_path = match take_value_flag(&mut args, "--trace") {
-        Ok(v) => v,
-        Err(msg) => {
-            eprintln!("{msg}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
-    let trace_sample = match take_value_flag(&mut args, "--trace-sample") {
-        Ok(v) => v,
-        Err(msg) => {
-            eprintln!("{msg}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
+    let manifest_path = value_flag!("--manifest");
+    let trace_path = value_flag!("--trace");
+    let trace_sample = value_flag!("--trace-sample");
     let trace_sample = match trace_sample
         .as_deref()
         .map(|v| {
@@ -273,7 +380,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let baseline_path = match take_value_flag(&mut args, "--baseline") {
+    let baseline_path = value_flag!("--baseline");
+    let format = value_flag!("--format");
+    let out = value_flag!("--out");
+    let last = value_flag!("--last");
+    let last = match last
+        .as_deref()
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--last: not a number: {v}"))
+        })
+        .transpose()
+    {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("{msg}");
@@ -281,18 +399,47 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let tolerance = value_flag!("--tolerance");
+    let tolerance = match tolerance
+        .as_deref()
+        .map(|v| match v.parse::<f64>() {
+            Ok(pct) if pct.is_finite() && pct >= 0.0 => Ok(pct / 100.0),
+            _ => Err(format!("--tolerance: not a percentage: {v}")),
+        })
+        .transpose()
+    {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let history_file = value_flag!("--history-file");
+    let html = value_flag!("--html");
     if let Some(unknown) = args.iter().find(|a| a.starts_with('-')) {
         eprintln!("unknown option: {unknown}");
         usage();
         return ExitCode::FAILURE;
     }
+    let export_option = format.is_some() || out.is_some();
+    let history_option = last.is_some() || tolerance.is_some();
+    let report_option = html.is_some();
+    let history_file_option = history_file.is_some();
     let run_option = json
         || all_flag
         || metrics
+        || record_history
         || jobs.is_some()
         || manifest_path.is_some()
         || trace_path.is_some();
-    let any_option = quick || run_option || baseline_path.is_some();
+    let any_option = quick
+        || run_option
+        || baseline_path.is_some()
+        || export_option
+        || history_option
+        || report_option
+        || history_file_option;
     if args.first().map(String::as_str) == Some("list") {
         if any_option || args.len() > 1 {
             eprintln!("list takes no options or arguments");
@@ -318,8 +465,53 @@ fn main() -> ExitCode {
         }
         return trace_report_cmd(&args[1]);
     }
+    if args.first().map(String::as_str) == Some("trace-export") {
+        let other = quick
+            || run_option
+            || baseline_path.is_some()
+            || history_option
+            || report_option
+            || history_file_option;
+        if other || args.len() != 2 || format.is_none() {
+            eprintln!("usage: repro trace-export <path> --format chrome|folded [--out PATH]");
+            return ExitCode::FAILURE;
+        }
+        return trace_export_cmd(
+            &args[1],
+            format.as_deref().unwrap_or_default(),
+            out.as_deref(),
+        );
+    }
+    if args.first().map(String::as_str) == Some("history") {
+        let other =
+            quick || run_option || baseline_path.is_some() || export_option || report_option;
+        if other || args.len() != 1 {
+            eprintln!("usage: repro history [--last K] [--tolerance PCT] [--history-file PATH]");
+            return ExitCode::FAILURE;
+        }
+        return history_cmd(
+            history_file.as_deref().unwrap_or(DEFAULT_HISTORY_PATH),
+            last.unwrap_or(0),
+            tolerance.unwrap_or(DEFAULT_DRIFT_TOLERANCE),
+        );
+    }
+    if args.first().map(String::as_str) == Some("report") {
+        let other =
+            quick || run_option || baseline_path.is_some() || export_option || history_option;
+        if other || args.len() > 2 || html.is_none() {
+            eprintln!("usage: repro report --html PATH [trace.jsonl] [--history-file PATH]");
+            return ExitCode::FAILURE;
+        }
+        return report_cmd(
+            html.as_deref().unwrap_or_default(),
+            args.get(1).map(String::as_str),
+            history_file.as_deref().unwrap_or(DEFAULT_HISTORY_PATH),
+        );
+    }
     if args.first().map(String::as_str) == Some("accuracy") {
-        if run_option || args.len() > 1 {
+        let other =
+            run_option || export_option || history_option || report_option || history_file_option;
+        if other || args.len() > 1 {
             eprintln!("usage: repro accuracy [--quick] [--baseline PATH]");
             return ExitCode::FAILURE;
         }
@@ -332,6 +524,19 @@ fn main() -> ExitCode {
     }
     if baseline_path.is_some() {
         eprintln!("--baseline only applies to the accuracy subcommand");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if export_option || history_option || report_option {
+        eprintln!(
+            "--format/--out, --last/--tolerance, and --html only apply to the \
+             trace-export, history, and report subcommands"
+        );
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if history_file_option && !record_history {
+        eprintln!("--history-file on a run requires --record-history");
         usage();
         return ExitCode::FAILURE;
     }
@@ -369,7 +574,7 @@ fn main() -> ExitCode {
     } else {
         RunOptions::default()
     };
-    let observe = metrics || manifest_path.is_some();
+    let observe = metrics || manifest_path.is_some() || record_history;
     let registry = if observe {
         let builder = swcc_core::metrics::register(swcc_obs::RegistryBuilder::new());
         let registry: &'static swcc_obs::MetricsRegistry =
@@ -432,6 +637,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote manifest to {path}");
+        }
+        if record_history {
+            let record = HistoryRecord::from_run(
+                quick,
+                jobs.get(),
+                &records,
+                wall.as_secs_f64() * 1e3,
+                &totals,
+            );
+            let path = history_file.as_deref().unwrap_or(DEFAULT_HISTORY_PATH);
+            if let Err(e) = append_record(Path::new(path), &record) {
+                eprintln!("cannot append history record to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("recorded run history to {path}");
         }
         if metrics {
             eprint!("{}", totals.render());

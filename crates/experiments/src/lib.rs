@@ -41,11 +41,14 @@ pub mod artifact;
 pub mod extensions;
 pub mod figures;
 pub mod gate;
+pub mod history;
+pub mod html_report;
 pub mod manifest;
 pub mod plot;
 pub mod registry;
 pub mod runner;
 pub mod tables;
+pub mod trace_export;
 pub mod trace_report;
 pub mod validation;
 

@@ -6,43 +6,41 @@
 //! simulator, runner, and validation harness. This module folds one
 //! back into the three summaries the paper's diagnostics need:
 //!
-//! * **Per-phase timing** — wall-clock totals per span name plus a
+//! * **Per-phase timing** — wall-clock totals *and self time* per span
+//!   name (via the reconstructed [`swcc_obs::tree::SpanTree`]), plus a
 //!   per-experiment breakdown from the runner's spans.
 //! * **Convergence diagnostics** — the distribution of Patel solver
-//!   iterations to tolerance, warm-start provenance, bracket
+//!   iterations to tolerance (p50/p90/p99 via
+//!   [`swcc_obs::quantile`]), warm-start provenance, bracket
 //!   fallbacks, and *divergences*: solves that hit the iteration cap
 //!   with the root bracket still wider than the tolerance.
 //! * **Model-vs-simulation accuracy** — per validation curve, the
 //!   worst relative gap between the analytic model and the trace-driven
 //!   simulation (the Fig 1 envelope, paper §3).
 //!
-//! [`TraceReport::is_clean`] is the gate the `trace-report` subcommand
-//! exposes through its exit code: a report with divergences fails.
+//! Ingestion is lenient: truncated or corrupt JSONL lines are counted
+//! in [`TraceReport::skipped`] and surfaced as a warning, never fatal —
+//! a trace cut off by sink capacity or a killed process is still
+//! mostly useful. [`TraceReport::is_clean`] is the gate the
+//! `trace-report` subcommand exposes through its exit code: a report
+//! with divergences fails.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
-use serde_json::Value;
-
-/// One open span's start-record fields, held until its end record.
-#[derive(Debug, Clone, Default)]
-struct SpanInfo {
-    fields: Vec<(String, Value)>,
-}
-
-impl SpanInfo {
-    fn field(&self, key: &str) -> Option<&Value> {
-        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-    }
-}
+use swcc_obs::quantile;
+use swcc_obs::tree::{parse_trace, ParsedEvent, Scalar, SpanTree};
+use swcc_obs::EventKind;
 
 /// Aggregate timing for one span name.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseTiming {
     /// Spans of this name that closed.
     pub count: u64,
-    /// Total wall-clock nanoseconds across them.
+    /// Total wall-clock nanoseconds across them (children included).
     pub total_ns: u64,
+    /// Self nanoseconds across them (children excluded).
+    pub self_ns: u64,
 }
 
 /// One experiment's timing, from its `runner.experiment` span.
@@ -75,6 +73,15 @@ pub struct ConvergenceSummary {
 }
 
 impl ConvergenceSummary {
+    /// The `q`-quantile of the iteration distribution, rounded to the
+    /// nearest count; 0 with no solves.
+    fn iteration_quantile(&self, q: f64) -> u64 {
+        let values: Vec<f64> = self.iterations.iter().map(|&v| v as f64).collect();
+        quantile::quantile(&values, q)
+            .map(|v| v.round() as u64)
+            .unwrap_or(0)
+    }
+
     /// Smallest iteration count, or 0 with no solves.
     pub fn min_iterations(&self) -> u64 {
         self.iterations.first().copied().unwrap_or(0)
@@ -82,11 +89,17 @@ impl ConvergenceSummary {
 
     /// Median iteration count, or 0 with no solves.
     pub fn median_iterations(&self) -> u64 {
-        if self.iterations.is_empty() {
-            0
-        } else {
-            self.iterations[self.iterations.len() / 2]
-        }
+        self.iteration_quantile(0.5)
+    }
+
+    /// 90th-percentile iteration count, or 0 with no solves.
+    pub fn p90_iterations(&self) -> u64 {
+        self.iteration_quantile(0.9)
+    }
+
+    /// 99th-percentile iteration count, or 0 with no solves.
+    pub fn p99_iterations(&self) -> u64 {
+        self.iteration_quantile(0.99)
     }
 
     /// Largest iteration count, or 0 with no solves.
@@ -113,14 +126,17 @@ pub struct AccuracyRow {
 /// Everything `trace-report` extracts from one trace file.
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
-    /// Total JSONL records parsed.
+    /// Total JSONL records parsed cleanly.
     pub events: u64,
-    /// Point events that were marked sampled at the source (the sink
-    /// may have kept only a fraction of what the source emitted).
+    /// Span-start records among them.
     pub spans: u64,
+    /// Truncated/corrupt lines skipped during parsing.
+    pub skipped: u64,
+    /// Spans that never saw their end record.
+    pub unclosed: u64,
     /// Per-span-name wall-clock aggregates, sorted by name.
     pub phases: BTreeMap<String, PhaseTiming>,
-    /// Per-experiment timings, in the order the spans closed.
+    /// Per-experiment timings, in span start order.
     pub experiments: Vec<ExperimentTiming>,
     /// Patel solver convergence summary.
     pub convergence: ConvergenceSummary,
@@ -131,7 +147,7 @@ pub struct TraceReport {
 impl TraceReport {
     /// `true` when the trace shows no solver divergences — the
     /// condition the `trace-report` subcommand turns into its exit
-    /// code.
+    /// code. Skipped lines are a warning, not a failure.
     pub fn is_clean(&self) -> bool {
         self.convergence.divergences == 0
     }
@@ -153,17 +169,34 @@ impl TraceReport {
     /// Renders the human-readable report.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if self.events == 0 {
+            out.push_str("trace report: empty trace (no events)\n");
+            if self.skipped > 0 {
+                let _ = writeln!(out, "warning: skipped {} corrupt line(s)", self.skipped);
+            }
+            return out;
+        }
         let _ = writeln!(
             out,
             "trace report: {} events, {} spans",
             self.events, self.spans
         );
+        if self.skipped > 0 {
+            let _ = writeln!(out, "warning: skipped {} corrupt line(s)", self.skipped);
+        }
+        if self.unclosed > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} span(s) never closed (truncated trace?)",
+                self.unclosed
+            );
+        }
 
         out.push_str("\nper-phase timing\n");
         let _ = writeln!(
             out,
-            "  {:<24} {:>8} {:>12} {:>12}",
-            "span", "count", "total ms", "mean ms"
+            "  {:<24} {:>8} {:>12} {:>12} {:>12}",
+            "span", "count", "total ms", "self ms", "mean ms"
         );
         for (name, t) in &self.phases {
             let total_ms = t.total_ns as f64 / 1e6;
@@ -174,8 +207,12 @@ impl TraceReport {
             };
             let _ = writeln!(
                 out,
-                "  {:<24} {:>8} {:>12.3} {:>12.4}",
-                name, t.count, total_ms, mean_ms
+                "  {:<24} {:>8} {:>12.3} {:>12.3} {:>12.4}",
+                name,
+                t.count,
+                total_ms,
+                t.self_ns as f64 / 1e6,
+                mean_ms
             );
         }
 
@@ -207,9 +244,11 @@ impl TraceReport {
         );
         let _ = writeln!(
             out,
-            "  iterations to tolerance: min {} / median {} / max {}",
+            "  iterations to tolerance: min {} / p50 {} / p90 {} / p99 {} / max {}",
             c.min_iterations(),
             c.median_iterations(),
+            c.p90_iterations(),
+            c.p99_iterations(),
             c.max_iterations()
         );
         let _ = writeln!(out, "  bracket fallbacks: {}", c.fallbacks);
@@ -248,131 +287,117 @@ impl TraceReport {
     }
 }
 
-fn field_str<'a>(fields: Option<&'a Value>, key: &str) -> Option<&'a str> {
-    fields?.get_field(key)?.as_str()
+fn field_str<'a>(event: &'a ParsedEvent, key: &str) -> Option<&'a str> {
+    event.field(key).and_then(Scalar::as_str)
 }
 
-fn field_u64(fields: Option<&Value>, key: &str) -> Option<u64> {
-    fields?.get_field(key)?.as_u64()
+fn field_u64(event: &ParsedEvent, key: &str) -> Option<u64> {
+    event.field(key).and_then(Scalar::as_u64)
 }
 
-fn field_f64(fields: Option<&Value>, key: &str) -> Option<f64> {
-    fields?.get_field(key)?.as_f64()
+fn field_f64(event: &ParsedEvent, key: &str) -> Option<f64> {
+    event.field(key).and_then(Scalar::as_f64)
 }
 
-fn field_bool(fields: Option<&Value>, key: &str) -> Option<bool> {
-    fields?.get_field(key)?.as_bool()
+fn field_bool(event: &ParsedEvent, key: &str) -> Option<bool> {
+    event.field(key).and_then(Scalar::as_bool)
 }
 
 /// Parses a `repro --trace` JSONL file into a [`TraceReport`].
 ///
-/// # Errors
-///
-/// Returns a line-numbered message for the first record that is not a
-/// valid trace event object.
-pub fn analyze(jsonl: &str) -> Result<TraceReport, String> {
-    let mut report = TraceReport::default();
-    // span id → info, filled by start records, closed by end records.
-    let mut open: BTreeMap<u64, SpanInfo> = BTreeMap::new();
+/// Never fails: corrupt lines are counted in [`TraceReport::skipped`]
+/// and an empty file yields an empty (clean) report.
+pub fn analyze(jsonl: &str) -> TraceReport {
+    let parsed = parse_trace(jsonl);
+    let tree = SpanTree::build(&parsed.events);
+
+    let mut report = TraceReport {
+        events: parsed.events.len() as u64,
+        skipped: parsed.skipped as u64,
+        unclosed: tree.unclosed() as u64,
+        ..TraceReport::default()
+    };
+
+    // Phase timing (with self time) straight off the span tree.
+    report.phases = tree
+        .name_timings()
+        .into_iter()
+        .map(|(name, t)| {
+            (
+                name,
+                PhaseTiming {
+                    count: t.count,
+                    total_ns: t.total_ns,
+                    self_ns: t.self_ns,
+                },
+            )
+        })
+        .collect();
+
+    // Experiment breakdown from the runner's spans.
+    for node in tree.nodes() {
+        if node.name == "runner.experiment" && node.closed {
+            let id = node
+                .fields
+                .iter()
+                .find(|(k, _)| k == "id")
+                .and_then(|(_, v)| v.as_str())
+                .unwrap_or("?");
+            let worker = node
+                .fields
+                .iter()
+                .find(|(k, _)| k == "worker")
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or(0);
+            report.experiments.push(ExperimentTiming {
+                id: id.to_string(),
+                duration_ns: node.dur_ns.unwrap_or(0),
+                worker,
+            });
+        }
+    }
+
     // (preset, protocol, cache) → (points, worst error).
     let mut accuracy: BTreeMap<(String, String, u64), (u64, f64)> = BTreeMap::new();
-
-    for (lineno, line) in jsonl.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let value: Value = serde_json::from_str(line)
-            .map_err(|e| format!("line {}: invalid JSON: {e}", lineno + 1))?;
-        let kind = value
-            .get_field("ev")
-            .and_then(Value::as_str)
-            .ok_or_else(|| format!("line {}: missing \"ev\"", lineno + 1))?
-            .to_string();
-        let name = value
-            .get_field("name")
-            .and_then(Value::as_str)
-            .ok_or_else(|| format!("line {}: missing \"name\"", lineno + 1))?
-            .to_string();
-        let span_id = value.get_field("span").and_then(Value::as_u64).unwrap_or(0);
-        let fields = value.get_field("fields");
-        report.events += 1;
-
-        match kind.as_str() {
-            "start" => {
+    for event in &parsed.events {
+        match event.kind {
+            EventKind::SpanStart => {
                 report.spans += 1;
-                open.insert(
-                    span_id,
-                    SpanInfo {
-                        fields: fields
-                            .and_then(Value::as_object)
-                            .map(|o| o.to_vec())
-                            .unwrap_or_default(),
-                    },
-                );
-                if name == "patel.solve" {
-                    report.convergence.solves += 1;
-                    let start = open.get(&span_id).expect("just inserted");
-                    if start.field("warm").and_then(Value::as_bool) == Some(true) {
-                        report.convergence.warm += 1;
-                    }
-                    if start.field("legacy").and_then(Value::as_bool) == Some(true) {
+                if event.name == "patel.solve" {
+                    if field_bool(event, "legacy") == Some(true) {
                         report.convergence.legacy += 1;
-                        report.convergence.solves -= 1;
+                    } else {
+                        report.convergence.solves += 1;
+                        if field_bool(event, "warm") == Some(true) {
+                            report.convergence.warm += 1;
+                        }
                     }
                 }
             }
-            "end" => {
-                let dur = value
-                    .get_field("dur_ns")
-                    .and_then(Value::as_u64)
-                    .unwrap_or(0);
-                let info = open.remove(&span_id);
-                let phase = report.phases.entry(name.clone()).or_insert(PhaseTiming {
-                    count: 0,
-                    total_ns: 0,
-                });
-                phase.count += 1;
-                phase.total_ns += dur;
-                if name == "runner.experiment" {
-                    if let Some(info) = &info {
-                        report.experiments.push(ExperimentTiming {
-                            id: info
-                                .field("id")
-                                .and_then(Value::as_str)
-                                .unwrap_or("?")
-                                .to_string(),
-                            duration_ns: dur,
-                            worker: info.field("worker").and_then(Value::as_u64).unwrap_or(0),
-                        });
-                    }
-                }
-            }
-            "point" => match name.as_str() {
+            EventKind::Point => match event.name.as_str() {
                 "patel.result" => {
-                    if let Some(iters) = field_u64(fields, "iterations") {
+                    if let Some(iters) = field_u64(event, "iterations") {
                         report.convergence.iterations.push(iters);
                     }
-                    report.convergence.fallbacks += field_u64(fields, "fallbacks").unwrap_or(0);
-                    if field_bool(fields, "converged") == Some(false) {
+                    report.convergence.fallbacks += field_u64(event, "fallbacks").unwrap_or(0);
+                    if field_bool(event, "converged") == Some(false) {
                         report.convergence.divergences += 1;
                     }
                 }
                 "validation.point" => {
                     let key = (
-                        field_str(fields, "preset").unwrap_or("?").to_string(),
-                        field_str(fields, "protocol").unwrap_or("?").to_string(),
-                        field_u64(fields, "cache_bytes").unwrap_or(0),
+                        field_str(event, "preset").unwrap_or("?").to_string(),
+                        field_str(event, "protocol").unwrap_or("?").to_string(),
+                        field_u64(event, "cache_bytes").unwrap_or(0),
                     );
-                    let err = field_f64(fields, "rel_error").unwrap_or(0.0);
+                    let err = field_f64(event, "rel_error").unwrap_or(0.0);
                     let entry = accuracy.entry(key).or_insert((0, 0.0));
                     entry.0 += 1;
                     entry.1 = entry.1.max(err);
                 }
                 _ => {}
             },
-            other => {
-                return Err(format!("line {}: unknown event kind {other:?}", lineno + 1));
-            }
+            EventKind::SpanEnd => {}
         }
     }
 
@@ -389,7 +414,7 @@ pub fn analyze(jsonl: &str) -> Result<TraceReport, String> {
             },
         )
         .collect();
-    Ok(report)
+    report
 }
 
 #[cfg(test)]
@@ -418,8 +443,9 @@ mod tests {
 
     #[test]
     fn parses_phase_timing_and_experiments() {
-        let report = analyze(&sample_trace()).unwrap();
+        let report = analyze(&sample_trace());
         assert_eq!(report.events, 14);
+        assert_eq!(report.skipped, 0);
         assert_eq!(report.phases["patel.solve"].count, 2);
         assert_eq!(report.phases["patel.solve"].total_ns, 6300);
         assert_eq!(report.phases["runner.experiment"].count, 2);
@@ -429,8 +455,23 @@ mod tests {
     }
 
     #[test]
+    fn phase_self_time_excludes_children() {
+        let report = analyze(&sample_trace());
+        // fig1's experiment span is 9 ms with 6300 ns of solves inside;
+        // table1's is 1 ms with nothing inside.
+        assert_eq!(
+            report.phases["runner.experiment"].self_ns,
+            10_000_000 - 6300
+        );
+        // The solves are leaves: self == total.
+        assert_eq!(report.phases["patel.solve"].self_ns, 6300);
+        // The batch excludes both experiments.
+        assert_eq!(report.phases["runner.batch"].self_ns, 1_000_000);
+    }
+
+    #[test]
     fn summarizes_convergence() {
-        let report = analyze(&sample_trace()).unwrap();
+        let report = analyze(&sample_trace());
         let c = &report.convergence;
         assert_eq!(c.solves, 2);
         assert_eq!(c.warm, 1);
@@ -438,6 +479,8 @@ mod tests {
         assert_eq!(c.iterations, vec![3, 5]);
         assert_eq!(c.fallbacks, 1);
         assert_eq!(c.divergences, 0);
+        assert_eq!(c.median_iterations(), 4, "interpolated midpoint of 3 and 5");
+        assert_eq!(c.max_iterations(), 5);
         assert!(report.is_clean());
     }
 
@@ -446,7 +489,7 @@ mod tests {
         let trace = sample_trace()
             + "\n"
             + r#"{"ev":"point","name":"patel.result","span":0,"parent":0,"seq":14,"thread":2,"fields":{"iterations":200,"fallbacks":12,"root":0.5,"converged":false}}"#;
-        let report = analyze(&trace).unwrap();
+        let report = analyze(&trace);
         assert_eq!(report.convergence.divergences, 1);
         assert!(!report.is_clean());
         assert!(report.render().contains("FAILED"));
@@ -454,7 +497,7 @@ mod tests {
 
     #[test]
     fn accumulates_accuracy_rows() {
-        let report = analyze(&sample_trace()).unwrap();
+        let report = analyze(&sample_trace());
         assert_eq!(report.accuracy.len(), 1);
         let row = &report.accuracy[0];
         assert_eq!(row.preset, "POPS");
@@ -467,10 +510,11 @@ mod tests {
 
     #[test]
     fn render_includes_every_section() {
-        let report = analyze(&sample_trace()).unwrap();
+        let report = analyze(&sample_trace());
         let text = report.render();
         for needle in [
             "per-phase timing",
+            "self ms",
             "experiment phases",
             "solver convergence",
             "model-vs-sim accuracy",
@@ -481,17 +525,38 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_lines() {
-        assert!(analyze("not json").is_err());
-        assert!(analyze(r#"{"name":"x"}"#).is_err());
-        assert!(analyze(r#"{"ev":"wat","name":"x"}"#).is_err());
+    fn skips_malformed_lines_with_a_warning() {
+        let trace = format!("not json\n{}\n{{\"ev\":\"trunc", sample_trace());
+        let report = analyze(&trace);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.events, 14, "good lines still parse");
+        assert!(report.is_clean(), "skips warn, they do not fail");
+        assert!(report.render().contains("skipped 2 corrupt line(s)"));
     }
 
     #[test]
-    fn empty_trace_is_clean() {
-        let report = analyze("").unwrap();
+    fn unknown_event_kinds_are_skipped_not_fatal() {
+        let report = analyze(r#"{"ev":"wat","name":"x","span":1,"parent":0,"seq":0,"thread":1}"#);
         assert_eq!(report.events, 0);
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn empty_trace_is_clean_with_a_message() {
+        let report = analyze("");
+        assert_eq!(report.events, 0);
+        assert_eq!(report.skipped, 0);
         assert!(report.is_clean());
         assert!(report.worst_rel_error().is_none());
+        assert!(report.render().contains("empty trace"));
+    }
+
+    #[test]
+    fn truncated_trace_reports_unclosed_spans() {
+        let trace =
+            r#"{"ev":"start","name":"runner.batch","span":1,"parent":0,"seq":0,"thread":1}"#;
+        let report = analyze(trace);
+        assert_eq!(report.unclosed, 1);
+        assert!(report.render().contains("never closed"));
     }
 }

@@ -47,9 +47,11 @@
 #![forbid(unsafe_code)]
 
 mod metric;
+pub mod quantile;
 mod recorder;
 mod registry;
 pub mod trace;
+pub mod tree;
 
 pub use metric::{Counter, Gauge, Histogram};
 pub use recorder::{
@@ -64,6 +66,7 @@ pub use trace::{
     event, event_sampled, install_sink, span, span_under, trace_enabled, EventKind, EventSink,
     Field, FieldValue, JsonlSink, Span, TraceEvent,
 };
+pub use tree::{parse_line, parse_trace, ParsedEvent, ParsedTrace, Scalar, SpanNode, SpanTree};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,128 @@
+//! Shared quantile estimation over `f64` samples.
+//!
+//! Several consumers in the workspace summarize distributions — the
+//! `trace-report` iteration histogram, the run-history drift detector's
+//! trailing medians, the bench harness's median-of-samples timings.
+//! Before this module each carried its own ad-hoc `sort + index` math
+//! with subtly different edge-case behavior; this is the one shared
+//! implementation.
+//!
+//! Semantics:
+//!
+//! * **Non-finite rejecting** — `NaN` and `±inf` samples are dropped
+//!   before estimation rather than poisoning the sort order.
+//! * **[`f64::total_cmp`]-based** — the sort is total and deterministic
+//!   (`-0.0 < +0.0`, no `partial_cmp` unwraps).
+//! * **Linear interpolation** between the two nearest order statistics
+//!   (the "type 7" estimator of R/NumPy), so `p50` of `[1, 2]` is `1.5`
+//!   and every quantile of a single sample is that sample.
+//!
+//! ```
+//! use swcc_obs::quantile::{median, p90, quantile};
+//!
+//! let xs = [4.0, 1.0, 3.0, 2.0];
+//! assert_eq!(median(&xs), Some(2.5));
+//! assert_eq!(quantile(&xs, 0.0), Some(1.0));
+//! assert_eq!(p90(&xs), Some(3.7));
+//! assert_eq!(median(&[]), None);
+//! ```
+
+/// The `q`-quantile (`0.0 ..= 1.0`) of `values`, ignoring non-finite
+/// samples. `None` when `q` is out of range or no finite sample remains.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    finite.sort_unstable_by(f64::total_cmp);
+    let rank = q * (finite.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(finite[lo] + (finite[hi] - finite[lo]) * frac)
+}
+
+/// The median (p50). See [`quantile`].
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// The 50th percentile. See [`quantile`].
+pub fn p50(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.50)
+}
+
+/// The 90th percentile. See [`quantile`].
+pub fn p90(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.90)
+}
+
+/// The 99th percentile. See [`quantile`].
+pub fn p99(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_has_no_quantiles() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(p99(&[]), None);
+    }
+
+    #[test]
+    fn single_element_is_every_quantile() {
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(quantile(&[7.25], q), Some(7.25), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        let xs = [10.0, 20.0];
+        assert_eq!(median(&xs), Some(15.0));
+        assert_eq!(quantile(&xs, 0.25), Some(12.5));
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(20.0));
+        // Order must not matter.
+        assert_eq!(median(&[20.0, 10.0]), Some(15.0));
+    }
+
+    #[test]
+    fn ties_are_stable() {
+        let xs = [3.0, 3.0, 3.0, 3.0];
+        assert_eq!(median(&xs), Some(3.0));
+        assert_eq!(p90(&xs), Some(3.0));
+        assert_eq!(p99(&xs), Some(3.0));
+        let mostly = [1.0, 2.0, 2.0, 2.0, 2.0];
+        assert_eq!(median(&mostly), Some(2.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        assert_eq!(median(&[f64::NAN, 1.0, 3.0, f64::INFINITY]), Some(2.0));
+        assert_eq!(median(&[f64::NAN]), None);
+        assert_eq!(median(&[f64::NEG_INFINITY, f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn out_of_range_q_is_rejected() {
+        assert_eq!(quantile(&[1.0], -0.01), None);
+        assert_eq!(quantile(&[1.0], 1.01), None);
+        assert_eq!(quantile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn matches_known_percentiles() {
+        let xs: Vec<f64> = (1..=11).map(f64::from).collect();
+        assert_eq!(p50(&xs), Some(6.0));
+        assert_eq!(p90(&xs), Some(10.0));
+        assert!((p99(&xs).unwrap() - 10.9).abs() < 1e-12);
+    }
+}

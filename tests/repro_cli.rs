@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
+use swcc_experiments::history;
 use swcc_experiments::manifest::RunManifest;
 use swcc_experiments::trace_report;
 
@@ -481,7 +482,11 @@ fn traced_parallel_run_round_trips_and_changes_nothing() {
     );
 
     let jsonl = std::fs::read_to_string(trace.path()).expect("trace written");
-    let report = trace_report::analyze(&jsonl).expect("trace parses");
+    let report = trace_report::analyze(&jsonl);
+    assert_eq!(
+        report.skipped, 0,
+        "the sink's own output must parse cleanly"
+    );
     assert!(
         report.is_clean(),
         "no solver may diverge:\n{}",
@@ -516,21 +521,64 @@ fn traced_parallel_run_round_trips_and_changes_nothing() {
 }
 
 #[test]
-fn trace_report_rejects_garbage_and_missing_files() {
+fn trace_report_warns_on_garbage_and_rejects_missing_files() {
+    // Ingestion is lenient: a file of garbage is an empty trace plus a
+    // warning, not a hard failure (a truncated trace is still useful).
     let tmp = TempManifest::new("bad-trace");
     std::fs::write(tmp.path(), "not json at all\n").unwrap();
     let out = repro()
         .args(["trace-report", tmp.path()])
         .output()
         .expect("spawn trace-report");
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    assert!(
+        out.status.success(),
+        "corrupt lines warn, they do not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("empty trace"), "{stdout}");
+    assert!(stdout.contains("skipped 1 corrupt line(s)"), "{stdout}");
+    // A missing file is still an error.
     let missing = repro()
         .args(["trace-report", "/nonexistent/trace.jsonl"])
         .output()
         .expect("spawn trace-report");
     assert!(!missing.status.success());
     assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot read"));
+}
+
+#[test]
+fn mangled_trace_is_summarized_with_warnings() {
+    // Regression for the lenient-ingestion satellite: a real trace with
+    // a corrupt line spliced in and its tail truncated mid-record still
+    // produces a report, with the damage counted in warnings.
+    let trace = TempManifest::new("mangle-src");
+    let run = repro()
+        .args(["table1", "fig1", "--quick", "--trace", trace.path()])
+        .output()
+        .expect("spawn traced run");
+    assert!(run.status.success());
+    let jsonl = std::fs::read_to_string(trace.path()).expect("trace written");
+    let mut lines: Vec<&str> = jsonl.lines().collect();
+    assert!(lines.len() > 4, "need a real trace to mangle");
+    let truncated = &lines[lines.len() - 1][..lines[lines.len() - 1].len() / 2];
+    *lines.last_mut().unwrap() = truncated;
+    lines.insert(2, "}} not a trace line {{");
+    let mangled = TempManifest::new("mangled");
+    std::fs::write(mangled.path(), lines.join("\n")).unwrap();
+
+    let out = repro()
+        .args(["trace-report", mangled.path()])
+        .output()
+        .expect("spawn trace-report");
+    assert!(
+        out.status.success(),
+        "mangled but divergence-free traces pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("corrupt line(s)"), "{stdout}");
+    assert!(stdout.contains("per-phase timing"), "{stdout}");
 }
 
 // --- Accuracy gate: repro accuracy --------------------------------------
@@ -593,4 +641,314 @@ fn baseline_flag_is_rejected_outside_accuracy() {
         .expect("spawn repro");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--baseline"));
+}
+
+// --- Version: repro --version -------------------------------------------
+
+#[test]
+fn version_prints_build_provenance_and_stands_alone() {
+    let out = repro().arg("--version").output().expect("spawn --version");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("repro "), "{stdout}");
+    for field in ["commit", "rustc", "cargo", "profile"] {
+        assert!(stdout.contains(field), "missing {field}: {stdout}");
+    }
+    // --version cannot be combined with anything else.
+    for argv in [&["--version", "all"][..], &["table1", "--version"]] {
+        let out = repro().args(argv).output().expect("spawn repro");
+        assert!(!out.status.success(), "{argv:?} must fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--version takes no other arguments"),
+            "{argv:?}"
+        );
+    }
+}
+
+// --- Export: repro trace-export ------------------------------------------
+
+#[test]
+fn trace_export_produces_chrome_json_and_folded_stacks() {
+    let trace = TempManifest::new("export-src");
+    let run = repro()
+        .args(["table1", "fig5", "--quick", "--trace", trace.path()])
+        .output()
+        .expect("spawn traced run");
+    assert!(run.status.success());
+
+    // Chrome trace-event JSON, to a file.
+    let chrome = TempManifest::new("export-chrome");
+    let out = repro()
+        .args([
+            "trace-export",
+            trace.path(),
+            "--format",
+            "chrome",
+            "--out",
+            chrome.path(),
+        ])
+        .output()
+        .expect("spawn trace-export chrome");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(chrome.path()).expect("chrome export written");
+    let value: serde_json::Value = serde_json::from_str(&json).expect("chrome export is JSON");
+    let events = value
+        .get_field("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for event in events {
+        let ph = event
+            .get_field("ph")
+            .and_then(serde_json::Value::as_str)
+            .expect("every event has a phase");
+        assert!(["X", "i", "M"].contains(&ph), "unexpected phase {ph:?}");
+    }
+    assert!(
+        events.iter().any(|e| {
+            e.get_field("name").and_then(serde_json::Value::as_str) == Some("thread_name")
+        }),
+        "thread metadata names the lanes"
+    );
+
+    // Folded flamegraph stacks, to stdout: self-times sum to the root
+    // span's total within 1% (exactly, for a sequential run).
+    let folded = repro()
+        .args(["trace-export", trace.path(), "--format", "folded"])
+        .output()
+        .expect("spawn trace-export folded");
+    assert!(folded.status.success());
+    let stdout = String::from_utf8_lossy(&folded.stdout);
+    let mut self_sum = 0u64;
+    for line in stdout.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("folded line is 'path value'");
+        assert!(!path.is_empty());
+        self_sum += value.parse::<u64>().expect("folded value is integer ns");
+    }
+    let report =
+        trace_report::analyze(&std::fs::read_to_string(trace.path()).expect("trace readable"));
+    let root_total = report.phases["runner.batch"].total_ns;
+    let gap = (self_sum as f64 - root_total as f64).abs() / root_total as f64;
+    assert!(
+        gap < 0.01,
+        "folded self-times ({self_sum}) must sum to the root total ({root_total}) within 1%"
+    );
+
+    // Bad or missing --format is rejected.
+    let bad = repro()
+        .args(["trace-export", trace.path(), "--format", "svg"])
+        .output()
+        .expect("spawn trace-export bad format");
+    assert!(!bad.status.success());
+    let missing = repro()
+        .args(["trace-export", trace.path()])
+        .output()
+        .expect("spawn trace-export no format");
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("--format"));
+}
+
+// --- History: --record-history and repro history -------------------------
+
+#[test]
+fn record_history_appends_schema_checked_records() {
+    let log = TempManifest::new("history-log");
+    for expected in 1..=2u64 {
+        let out = repro()
+            .args(["table1", "--record-history", "--history-file", log.path()])
+            .output()
+            .expect("spawn recorded run");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stderr).contains("recorded run history"));
+        let records =
+            history::load_history(std::path::Path::new(log.path())).expect("history log parses");
+        assert_eq!(records.len() as u64, expected, "append-only log grows");
+        let last = records.last().unwrap();
+        assert_eq!(last.schema, history::HISTORY_SCHEMA);
+        assert_eq!(last.experiments, 1);
+        assert!(last.warm_start.iteration_speedup > 1.0);
+    }
+    // --history-file without --record-history makes no sense on a run.
+    let out = repro()
+        .args(["table1", "--history-file", log.path()])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--record-history"));
+}
+
+/// A hand-built steady history record, as the drift tests' baseline.
+fn synthetic_record(speedup: f64, evals: u64, err: f64) -> history::HistoryRecord {
+    history::HistoryRecord {
+        schema: history::HISTORY_SCHEMA.to_string(),
+        build: swcc_experiments::BuildProvenance::current(),
+        quick: true,
+        jobs: 1,
+        experiments: 26,
+        wall_ms: 500.0,
+        accuracy: vec![history::AccuracyEntry {
+            figure: "fig1".to_string(),
+            max_rel_error: err,
+        }],
+        solver: history::SolverStats {
+            solves: 400,
+            residual_evals: evals,
+            warm_reuses: 200,
+            bracket_fallbacks: 2,
+        },
+        warm_start: history::WarmStartStats {
+            cold_iterations: 400,
+            warm_iterations: 160,
+            iteration_speedup: speedup,
+        },
+    }
+}
+
+#[test]
+fn history_subcommand_gates_drift_with_its_exit_code() {
+    // Steady log: the gate passes.
+    let steady = TempManifest::new("history-steady");
+    for record in [
+        synthetic_record(2.50, 9000, 0.120),
+        synthetic_record(2.52, 9010, 0.119),
+        synthetic_record(2.48, 8990, 0.121),
+    ] {
+        history::append_record(std::path::Path::new(steady.path()), &record).unwrap();
+    }
+    let out = repro()
+        .args(["history", "--history-file", steady.path()])
+        .output()
+        .expect("spawn repro history");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("run history: showing 3 of 3"), "{stdout}");
+    assert!(stdout.contains("drift: OK"), "{stdout}");
+
+    // Drifted newest record: solver suddenly does 3x the work → the
+    // acceptance-criteria negative test, nonzero exit.
+    let drifted = TempManifest::new("history-drifted");
+    std::fs::copy(steady.path(), drifted.path()).unwrap();
+    history::append_record(
+        std::path::Path::new(drifted.path()),
+        &synthetic_record(2.51, 27000, 0.120),
+    )
+    .unwrap();
+    let out = repro()
+        .args(["history", "--history-file", drifted.path()])
+        .output()
+        .expect("spawn repro history drifted");
+    assert!(!out.status.success(), "drifted history must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("drift: FAILED"), "{stdout}");
+    assert!(stdout.contains("solver residual evals"), "{stdout}");
+
+    // A generous --tolerance lets the same log pass, and --last trims
+    // the trend table.
+    let out = repro()
+        .args([
+            "history",
+            "--history-file",
+            drifted.path(),
+            "--tolerance",
+            "900",
+            "--last",
+            "2",
+        ])
+        .output()
+        .expect("spawn repro history tolerant");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("showing 2 of 4"), "{stdout}");
+    assert!(stdout.contains("drift: OK"), "{stdout}");
+
+    // A missing log renders as empty and passes.
+    let out = repro()
+        .args(["history", "--history-file", "/nonexistent/runs.jsonl"])
+        .output()
+        .expect("spawn repro history empty");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("history is empty"));
+}
+
+// --- Dashboard: repro report --html --------------------------------------
+
+#[test]
+fn report_writes_a_self_contained_html_dashboard() {
+    let trace = TempManifest::new("dash-trace");
+    let run = repro()
+        .args(["fig1", "--quick", "--trace", trace.path()])
+        .output()
+        .expect("spawn traced run");
+    assert!(run.status.success());
+    let log = TempManifest::new("dash-history");
+    for record in [
+        synthetic_record(2.50, 9000, 0.120),
+        synthetic_record(2.52, 9010, 0.119),
+    ] {
+        history::append_record(std::path::Path::new(log.path()), &record).unwrap();
+    }
+
+    let html_out = TempManifest::new("dash-html");
+    let out = repro()
+        .args([
+            "report",
+            "--html",
+            html_out.path(),
+            trace.path(),
+            "--history-file",
+            log.path(),
+        ])
+        .output()
+        .expect("spawn repro report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = std::fs::read_to_string(html_out.path()).expect("dashboard written");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    for section in ["Phase timings", "Run history", "<svg"] {
+        assert!(html.contains(section), "missing {section:?}");
+    }
+    // Single self-contained file: nothing fetched from anywhere.
+    for needle in [
+        "http://", "https://", "<script", "<link", " src=", "@import",
+    ] {
+        assert!(
+            !html.contains(needle),
+            "dashboard must not contain {needle:?}"
+        );
+    }
+
+    // --html is mandatory; a traceless dashboard still renders.
+    let missing = repro().arg("report").output().expect("spawn repro report");
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("--html"));
+    let traceless = TempManifest::new("dash-traceless");
+    let out = repro()
+        .args([
+            "report",
+            "--html",
+            traceless.path(),
+            "--history-file",
+            log.path(),
+        ])
+        .output()
+        .expect("spawn traceless report");
+    assert!(out.status.success());
+    assert!(std::fs::read_to_string(traceless.path())
+        .expect("traceless dashboard written")
+        .contains("No trace supplied"));
 }
