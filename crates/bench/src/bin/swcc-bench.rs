@@ -1,9 +1,10 @@
 //! `swcc-bench` — machine-readable sweep-engine benchmark.
 //!
-//! Times the batched MVA/bus sweep against the pointwise API and
-//! warm-started Patel solves against cold ones, then writes the
-//! results as JSON (default `BENCH_sweep.json`, or the path given as
-//! the first argument; `-` writes to stdout only).
+//! Times the batched MVA/bus sweep against the pointwise API,
+//! warm-started Patel solves against cold ones, and the lockstep batch
+//! engine against the warm scalar path on 1k-point grids, then writes
+//! the results as JSON (default `BENCH_sweep.json`, or the path given
+//! as the first argument; `-` writes to stdout only).
 //!
 //! ```text
 //! cargo run --release -p swcc-bench --bin swcc-bench
@@ -24,6 +25,7 @@ use std::time::Instant;
 use serde::Serialize;
 use swcc_bench::compare::compare_reports;
 use swcc_bench::BENCH_SCHEMA;
+use swcc_core::batch::{machine_repairman_grid, BatchPatelSolver};
 use swcc_core::bus::{analyze_bus, analyze_bus_sweep};
 use swcc_core::network::WarmSolver;
 use swcc_core::queue::{machine_repairman, machine_repairman_sweep};
@@ -35,6 +37,8 @@ use swcc_core::workload::WorkloadParams;
 const CURVE_POINTS: u32 = 64;
 /// Solves in the Patel rate sweep.
 const PATEL_SOLVES: u32 = 50;
+/// Lanes in the batch-engine grids (the ISSUE's 1k-point target).
+const BATCH_LANES: usize = 1000;
 /// Timed samples per measurement; the median is reported.
 const SAMPLES: usize = 25;
 /// Iterations batched inside each timed sample.
@@ -96,6 +100,68 @@ struct PatelBench {
     /// which at ~200 ns/solve sits inside timer noise.
     iteration_speedup: f64,
     wall_speedup: f64,
+    /// Per-solve overhead outside the Newton loop (validation, warm
+    /// hint bookkeeping, result assembly), from the two-point
+    /// decomposition of warm sweeps at fine and coarse tolerance.
+    /// Setup dominating per-solve cost is why a 1.20x iteration saving
+    /// shows up as only ~1.03x wall time.
+    setup_ns_per_solve: f64,
+    /// Marginal cost of one residual evaluation, from the same
+    /// decomposition: `(fine - coarse wall) / (fine - coarse
+    /// iterations)`.
+    iteration_ns: f64,
+}
+
+impl PatelBench {
+    /// Splits per-solve wall time into setup and iteration components
+    /// by treating two sweeps with different (deterministic) iteration
+    /// counts as two samples of
+    /// `wall = setup * solves + iteration_ns * iterations`.
+    fn split_overhead(
+        fine_ns: f64,
+        coarse_ns: f64,
+        fine_iterations: u32,
+        coarse_iterations: u32,
+        solves: u32,
+    ) -> (f64, f64) {
+        let extra_iterations = f64::from(fine_iterations) - f64::from(coarse_iterations);
+        if extra_iterations <= 0.0 {
+            // Degenerate sweep (both tolerances converged alike): the
+            // split is unidentifiable; attribute everything to setup.
+            return (fine_ns / f64::from(solves), 0.0);
+        }
+        let iteration_ns = ((fine_ns - coarse_ns) / extra_iterations).max(0.0);
+        let setup_ns = (fine_ns - iteration_ns * f64::from(fine_iterations)) / f64::from(solves);
+        (setup_ns.max(0.0), iteration_ns)
+    }
+}
+
+/// Batched Patel fixed-point solving versus the warm scalar sweep on
+/// the same grid — the batch engine's headline comparison.
+#[derive(Debug, Serialize)]
+struct BatchPatelBench {
+    lanes: usize,
+    stages: u32,
+    /// Warm scalar path: one `WarmSolver` chained across the grid.
+    warm_scalar_ns_per_solve: f64,
+    batch_ns_per_solve: f64,
+    /// Total residual evaluations across the batch; deterministic for
+    /// a given grid, so `--compare` gates it exactly.
+    batch_iterations: u64,
+    /// Warm scalar wall / batch wall on the same grid — the gated
+    /// batch-engine speedup.
+    speedup_vs_warm: f64,
+}
+
+/// Batched MVA grid versus a pointwise `machine_repairman` loop over
+/// the same lanes (distinct service/think per lane, fixed population).
+#[derive(Debug, Serialize)]
+struct BatchGridBench {
+    lanes: usize,
+    customers: u32,
+    pointwise_ns_per_lane: f64,
+    batch_ns_per_lane: f64,
+    speedup: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -108,6 +174,8 @@ struct Report {
     mva_curve: CurveBench,
     bus_curve_dragon: CurveBench,
     patel_rate_sweep: PatelBench,
+    batch_patel: BatchPatelBench,
+    batch_grid: BatchGridBench,
 }
 
 fn run() -> Report {
@@ -164,6 +232,63 @@ fn run() -> Report {
     solver.reset();
     let warm_iterations = sweep_rates(&mut solver, false);
 
+    // Setup/iteration split: re-run the warm sweep at a coarse
+    // tolerance. The iteration-count delta is large and deterministic,
+    // so the two-point fit stays out of timer noise (unlike cold vs
+    // warm, whose ~40-iteration gap is invisible at ~200 ns/solve).
+    const COARSE_TOLERANCE: f64 = 1e-2;
+    let coarse_ns = median_ns(|| {
+        let mut solver = WarmSolver::with_tolerance(COARSE_TOLERANCE);
+        sweep_rates(&mut solver, false);
+    });
+    let mut coarse_solver = WarmSolver::with_tolerance(COARSE_TOLERANCE);
+    let coarse_iterations = sweep_rates(&mut coarse_solver, false);
+    let (setup_ns_per_solve, iteration_ns) = PatelBench::split_overhead(
+        warm_ns,
+        coarse_ns,
+        warm_iterations,
+        coarse_iterations,
+        PATEL_SOLVES,
+    );
+
+    // Batch engine vs the warm scalar path over the same 1k-point grid.
+    let batch_rates: Vec<f64> = (1..=BATCH_LANES).map(|i| i as f64 * 1.0e-4).collect();
+    let batch_sizes = vec![20.0; BATCH_LANES];
+    let batch_solver = BatchPatelSolver::new();
+    let warm_grid_ns = median_ns(|| {
+        let mut solver = WarmSolver::new();
+        for &rate in &batch_rates {
+            std::hint::black_box(solver.solve(rate, 20.0, stages).unwrap());
+        }
+    });
+    let batch_ns = median_ns(|| {
+        std::hint::black_box(
+            batch_solver
+                .solve(&batch_rates, &batch_sizes, stages)
+                .unwrap(),
+        );
+    });
+    let batch_iterations = batch_solver
+        .solve(&batch_rates, &batch_sizes, stages)
+        .unwrap()
+        .total_iterations();
+
+    // Batched MVA grid vs a pointwise loop: 1k lanes with distinct
+    // service times at a fixed paper-scale population.
+    let grid_customers = CURVE_POINTS;
+    let grid_services: Vec<f64> = (0..BATCH_LANES).map(|i| 0.1 + i as f64 * 5.0e-4).collect();
+    let grid_thinks = vec![1.2; BATCH_LANES];
+    let grid_pointwise_ns = median_ns(|| {
+        for (&s, &z) in grid_services.iter().zip(&grid_thinks) {
+            std::hint::black_box(machine_repairman(grid_customers, s, z).unwrap());
+        }
+    });
+    let grid_batch_ns = median_ns(|| {
+        std::hint::black_box(
+            machine_repairman_grid(grid_customers, &grid_services, &grid_thinks).unwrap(),
+        );
+    });
+
     Report {
         schema: BENCH_SCHEMA.to_string(),
         samples: SAMPLES,
@@ -183,6 +308,23 @@ fn run() -> Report {
             warm_iterations,
             iteration_speedup: f64::from(cold_iterations) / f64::from(warm_iterations),
             wall_speedup: cold_ns / warm_ns,
+            setup_ns_per_solve,
+            iteration_ns,
+        },
+        batch_patel: BatchPatelBench {
+            lanes: BATCH_LANES,
+            stages,
+            warm_scalar_ns_per_solve: warm_grid_ns / BATCH_LANES as f64,
+            batch_ns_per_solve: batch_ns / BATCH_LANES as f64,
+            batch_iterations,
+            speedup_vs_warm: warm_grid_ns / batch_ns,
+        },
+        batch_grid: BatchGridBench {
+            lanes: BATCH_LANES,
+            customers: grid_customers,
+            pointwise_ns_per_lane: grid_pointwise_ns / BATCH_LANES as f64,
+            batch_ns_per_lane: grid_batch_ns / BATCH_LANES as f64,
+            speedup: grid_pointwise_ns / grid_batch_ns,
         },
     }
 }

@@ -13,12 +13,18 @@
 //!
 //! Per-point nanosecond columns are rendered informationally but never
 //! gated.
+//!
+//! Both `swcc-bench/v1` and `swcc-bench/v2` reports are accepted. The
+//! v2-only batch-engine fields (`batch_patel.*`, `batch_grid.*`) are
+//! gated only when the baseline records them: comparing against a v1
+//! baseline skips them, while a v2 baseline makes them mandatory in
+//! the fresh report.
 
 use std::fmt::Write as _;
 
 use serde_json::Value;
 
-use crate::BENCH_SCHEMA;
+use crate::{BENCH_SCHEMA, BENCH_SCHEMA_V1};
 
 /// A gated speedup-ratio comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,9 +166,9 @@ fn parse_report(label: &str, json: &str) -> Result<Value, String> {
     match value.get_field("schema").and_then(Value::as_str) {
         // Pre-schema reports are accepted as the v1 shape they were.
         None => Ok(value),
-        Some(s) if s == BENCH_SCHEMA => Ok(value),
+        Some(s) if s == BENCH_SCHEMA || s == BENCH_SCHEMA_V1 => Ok(value),
         Some(other) => Err(format!(
-            "{label}: unsupported bench schema {other:?} (expected {BENCH_SCHEMA:?})"
+            "{label}: unsupported bench schema {other:?} (expected {BENCH_SCHEMA:?} or {BENCH_SCHEMA_V1:?})"
         )),
     }
 }
@@ -211,6 +217,24 @@ const INFO_FIELDS: [&str; 5] = [
     "patel_rate_sweep.warm_ns_per_solve",
 ];
 
+/// v2-only ratio fields (batch engine). Gated like [`RATIO_FIELDS`],
+/// but only when the **baseline** carries them — a v1 baseline simply
+/// has no batch expectations yet. Once a baseline records them, a
+/// fresh report missing them is an error (the batch engine vanished).
+const V2_RATIO_FIELDS: [&str; 2] = ["batch_patel.speedup_vs_warm", "batch_grid.speedup"];
+
+/// v2-only deterministic counts, gated exactly when the baseline has
+/// them.
+const V2_EXACT_FIELDS: [&str; 1] = ["batch_patel.batch_iterations"];
+
+/// v2-only informational timings.
+const V2_INFO_FIELDS: [&str; 4] = [
+    "patel_rate_sweep.setup_ns_per_solve",
+    "patel_rate_sweep.iteration_ns",
+    "batch_patel.batch_ns_per_solve",
+    "batch_grid.batch_ns_per_lane",
+];
+
 /// Compares two `BENCH_sweep.json` documents with a fractional
 /// `tolerance` (0.2 = 20%) on the speedup ratios.
 ///
@@ -232,8 +256,16 @@ pub fn compare_reports(
     let old = parse_report("baseline", old_json)?;
     let new = parse_report("fresh", new_json)?;
 
-    let mut ratios = Vec::with_capacity(RATIO_FIELDS.len());
-    for name in RATIO_FIELDS {
+    // v2-only fields are gated iff the baseline records them; a v1 (or
+    // pre-schema) baseline has no batch expectations to enforce.
+    let in_baseline = |name: &'static str| lookup(&old, name).is_ok();
+
+    let mut ratios = Vec::with_capacity(RATIO_FIELDS.len() + V2_RATIO_FIELDS.len());
+    for name in RATIO_FIELDS
+        .iter()
+        .copied()
+        .chain(V2_RATIO_FIELDS.iter().copied().filter(|&n| in_baseline(n)))
+    {
         let o = lookup_f64("baseline", &old, name)?;
         let n = lookup_f64("fresh", &new, name)?;
         ratios.push(RatioRow {
@@ -243,16 +275,24 @@ pub fn compare_reports(
             floor: o * (1.0 - tolerance),
         });
     }
-    let mut exacts = Vec::with_capacity(EXACT_FIELDS.len());
-    for name in EXACT_FIELDS {
+    let mut exacts = Vec::with_capacity(EXACT_FIELDS.len() + V2_EXACT_FIELDS.len());
+    for name in EXACT_FIELDS
+        .iter()
+        .copied()
+        .chain(V2_EXACT_FIELDS.iter().copied().filter(|&n| in_baseline(n)))
+    {
         exacts.push(ExactRow {
             name,
             old: lookup_u64("baseline", &old, name)?,
             new: lookup_u64("fresh", &new, name)?,
         });
     }
-    let mut info = Vec::with_capacity(INFO_FIELDS.len());
-    for name in INFO_FIELDS {
+    let mut info = Vec::with_capacity(INFO_FIELDS.len() + V2_INFO_FIELDS.len());
+    for name in INFO_FIELDS
+        .iter()
+        .copied()
+        .chain(V2_INFO_FIELDS.iter().copied().filter(|&n| in_baseline(n)))
+    {
         info.push(InfoRow {
             name,
             old: lookup_f64("baseline", &old, name)?,
@@ -291,12 +331,77 @@ mod tests {
         )
     }
 
+    /// A v2 report: the v1 sections plus the batch-engine additions.
+    fn report_v2(batch_speedup: f64, batch_iterations: u64) -> String {
+        let v1 = report(18.5, 238);
+        let body = v1.trim_end().trim_end_matches('}');
+        format!(
+            r#"{body},
+              "batch_patel": {{"lanes": 1000, "stages": 8,
+                               "warm_scalar_ns_per_solve": 225.0,
+                               "batch_ns_per_solve": 40.0,
+                               "batch_iterations": {batch_iterations},
+                               "speedup_vs_warm": {batch_speedup}}},
+              "batch_grid": {{"lanes": 1000, "customers": 64,
+                              "pointwise_ns_per_lane": 350.0,
+                              "batch_ns_per_lane": 60.0, "speedup": 5.8}}
+            }}"#
+        )
+        .replace("swcc-bench/v1", "swcc-bench/v2")
+    }
+
     #[test]
     fn identical_reports_pass() {
         let r = report(18.5, 238);
         let outcome = compare_reports(&r, &r, 0.2).unwrap();
         assert!(outcome.passed(), "{}", outcome.render());
         assert!(outcome.render().contains("bench compare: passed"));
+    }
+
+    #[test]
+    fn identical_v2_reports_gate_the_batch_fields() {
+        let r = report_v2(5.6, 4242);
+        let outcome = compare_reports(&r, &r, 0.2).unwrap();
+        assert!(outcome.passed(), "{}", outcome.render());
+        assert!(outcome
+            .ratios
+            .iter()
+            .any(|r| r.name == "batch_patel.speedup_vs_warm"));
+        assert!(outcome
+            .ratios
+            .iter()
+            .any(|r| r.name == "batch_grid.speedup"));
+        assert!(outcome
+            .exacts
+            .iter()
+            .any(|e| e.name == "batch_patel.batch_iterations"));
+    }
+
+    #[test]
+    fn v1_baseline_skips_batch_fields_against_v2_fresh() {
+        let outcome = compare_reports(&report(18.5, 238), &report_v2(5.6, 4242), 0.2).unwrap();
+        assert!(outcome.passed(), "{}", outcome.render());
+        assert!(!outcome.ratios.iter().any(|r| r.name.starts_with("batch_")));
+        assert!(!outcome.exacts.iter().any(|e| e.name.starts_with("batch_")));
+    }
+
+    #[test]
+    fn v2_baseline_requires_batch_fields_in_fresh() {
+        let err = compare_reports(&report_v2(5.6, 4242), &report(18.5, 238), 0.2).unwrap_err();
+        assert!(err.contains("batch_patel"), "{err}");
+    }
+
+    #[test]
+    fn drifted_batch_speedup_fails_the_gate() {
+        let outcome = compare_reports(&report_v2(5.6, 4242), &report_v2(2.0, 4242), 0.2).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn drifted_batch_iteration_count_fails_the_gate() {
+        let outcome = compare_reports(&report_v2(5.6, 4242), &report_v2(5.6, 4300), 0.2).unwrap();
+        assert!(!outcome.passed());
     }
 
     #[test]

@@ -51,6 +51,21 @@ pub const BUS_SWEEPS: &str = "core.bus.sweeps";
 /// Bus operating points produced by sweep reuse.
 pub const BUS_SWEEP_POINTS: &str = "core.bus.sweep_points";
 
+/// Lockstep Patel batches solved ([`crate::batch::BatchPatelSolver`]).
+pub const BATCH_PATEL_BATCHES: &str = "core.batch.patel_batches";
+/// Lanes submitted across all batch Patel solves.
+pub const BATCH_PATEL_LANES: &str = "core.batch.patel_lanes";
+/// Lockstep MVA grid evaluations ([`crate::batch::machine_repairman_grid`]
+/// and [`crate::batch::machine_repairman_sweep_grid`]).
+pub const BATCH_MVA_GRIDS: &str = "core.batch.mva_grids";
+/// Lanes submitted across all batch MVA grid evaluations.
+pub const BATCH_MVA_GRID_LANES: &str = "core.batch.mva_grid_lanes";
+/// Distribution of batch widths (lanes per batch call).
+pub const BATCH_LANE_WIDTH: &str = "core.batch.lane_width";
+/// Distribution of the lockstep iteration at which each Patel lane
+/// retired from the active set (converged or hit the cap).
+pub const BATCH_RETIRE_ITERATIONS: &str = "core.batch.retire_iterations";
+
 /// Pointwise network analyses ([`crate::network::analyze_network`]).
 pub const NETWORK_ANALYSES: &str = "core.network.analyses";
 /// Warm-started network power curves ([`crate::network::network_power_curve`]).
@@ -82,6 +97,16 @@ pub const EV_BUS_SWEEP: &str = "bus.sweep";
 /// Sampled per-population point inside a bus sweep. Fields: `n`,
 /// `power`, `utilization`, `wait`.
 pub const EV_BUS_SWEEP_POINT: &str = "bus.sweep_point";
+/// Span around one lockstep batch Patel solve. Fields: `lanes`,
+/// `tolerance`.
+pub const EV_BATCH_SOLVE: &str = "batch.solve";
+/// Sampled per-lockstep-iteration point inside a batch solve. Fields:
+/// `iter`, `active` (lanes entering the iteration), `retired` (lanes
+/// that converged during it).
+pub const EV_BATCH_ITERATION: &str = "batch.iteration";
+/// Span around one lockstep MVA grid evaluation. Fields: `lanes`,
+/// `customers`.
+pub const EV_BATCH_MVA_GRID: &str = "batch.mva_grid";
 /// Span around one warm-started network power curve. Fields: `scheme`,
 /// `max_stages`.
 pub const EV_NETWORK_CURVE: &str = "network.curve";
@@ -113,6 +138,22 @@ pub fn register(builder: RegistryBuilder) -> RegistryBuilder {
         .counter(NETWORK_ANALYSES)
         .counter(NETWORK_CURVES)
         .counter(NETWORK_CURVE_POINTS)
+        .counter(BATCH_PATEL_BATCHES)
+        .counter(BATCH_PATEL_LANES)
+        .counter(BATCH_MVA_GRIDS)
+        .counter(BATCH_MVA_GRID_LANES)
+        .histogram(
+            BATCH_LANE_WIDTH,
+            &[
+                1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+            ],
+        )
+        .histogram(
+            BATCH_RETIRE_ITERATIONS,
+            &[
+                1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 128.0, 200.0,
+            ],
+        )
 }
 
 #[cfg(test)]
@@ -143,10 +184,40 @@ mod tests {
             NETWORK_ANALYSES,
             NETWORK_CURVES,
             NETWORK_CURVE_POINTS,
+            BATCH_PATEL_BATCHES,
+            BATCH_PATEL_LANES,
+            BATCH_MVA_GRIDS,
+            BATCH_MVA_GRID_LANES,
         ] {
             assert_eq!(registry.counter_value(name), Some(0), "{name}");
         }
         assert!(registry.histogram(SOLVER_ITERATIONS).is_some());
+        assert!(registry.histogram(BATCH_LANE_WIDTH).is_some());
+        assert!(registry.histogram(BATCH_RETIRE_ITERATIONS).is_some());
+    }
+
+    #[test]
+    fn batch_solve_attributes_solver_work() {
+        let rates = [0.0, 0.01, 0.02, 0.03];
+        let sizes = [20.0; 4];
+        let (batch, span) = swcc_obs::capture(|| {
+            crate::batch::BatchPatelSolver::new()
+                .solve(&rates, &sizes, 8)
+                .unwrap()
+        });
+        assert_eq!(span.counter(BATCH_PATEL_BATCHES), Some(1));
+        assert_eq!(span.counter(BATCH_PATEL_LANES), Some(4));
+        // The zero-demand lane does no solver work, as in the scalar path.
+        assert_eq!(span.counter(SOLVER_SOLVES), Some(3));
+        assert_eq!(
+            span.counter(SOLVER_RESIDUAL_EVALS),
+            Some(batch.total_iterations())
+        );
+        let iters = span.histogram(SOLVER_ITERATIONS).unwrap();
+        assert_eq!(iters.count, 3);
+        let widths = span.histogram(BATCH_LANE_WIDTH).unwrap();
+        assert_eq!(widths.count, 1);
+        assert_eq!(widths.sum, 4.0);
     }
 
     #[test]

@@ -216,6 +216,93 @@ pub fn network_power_curve(
     Ok(curve)
 }
 
+/// Sweeps stage count from 0 to `max_stages` for **several schemes at
+/// once**, solving every `(scheme, stages)` operating point as one lane
+/// of a single lockstep batch ([`crate::batch::BatchPatelSolver`]).
+///
+/// Each lane is cold-started, so every point is **bit-identical** to
+/// [`solve_with`] with default options at the same `(rate, size,
+/// stages)` — and therefore agrees with pointwise [`analyze_network`]
+/// and with the warm-chained [`network_power_curve`] to within the
+/// solver tolerance ([`DEFAULT_TOLERANCE`]), the same documented
+/// equivalence those two paths share.
+///
+/// # Errors
+///
+/// As [`analyze_network`]: [`ModelError::UnsupportedScheme`] if any
+/// scheme requires a bus ([`Scheme::Dragon`]), plus solver errors
+/// (which cannot occur for valid workloads).
+///
+/// # Examples
+///
+/// ```
+/// use swcc_core::network::{network_power_curve, network_power_curves};
+/// use swcc_core::scheme::Scheme;
+/// use swcc_core::workload::WorkloadParams;
+///
+/// # fn main() -> Result<(), swcc_core::ModelError> {
+/// let w = WorkloadParams::default();
+/// let schemes = [Scheme::NoCache, Scheme::SoftwareFlush];
+/// let curves = network_power_curves(&schemes, &w, 8)?;
+/// let warm = network_power_curve(Scheme::SoftwareFlush, &w, 8)?;
+/// assert_eq!(curves[1].len(), warm.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn network_power_curves(
+    schemes: &[Scheme],
+    workload: &WorkloadParams,
+    max_stages: u32,
+) -> Result<Vec<Vec<NetworkPerformance>>> {
+    if let Some(&scheme) = schemes.iter().find(|s| s.requires_bus()) {
+        return Err(ModelError::UnsupportedScheme {
+            scheme,
+            interconnect: "multistage network",
+        });
+    }
+    let points_per_scheme = max_stages as usize + 1;
+    let mut rates = Vec::with_capacity(schemes.len() * points_per_scheme);
+    let mut sizes = Vec::with_capacity(schemes.len() * points_per_scheme);
+    let mut stage_counts = Vec::with_capacity(schemes.len() * points_per_scheme);
+    let mut demands = Vec::with_capacity(schemes.len() * points_per_scheme);
+    for &scheme in schemes {
+        for stages in 0..=max_stages {
+            let system = NetworkSystemModel::new(stages);
+            let demand = scheme_demand(scheme, workload, &system)?;
+            rates.push(demand.transaction_rate());
+            sizes.push(demand.transaction_size());
+            stage_counts.push(stages);
+            demands.push(demand);
+        }
+    }
+    let solution = crate::batch::BatchPatelSolver::new().solve_grid(
+        &rates,
+        &sizes,
+        &crate::batch::Stages::PerLane(&stage_counts),
+        None,
+    )?;
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::NETWORK_CURVES, schemes.len() as u64);
+        swcc_obs::counter_add(metrics::NETWORK_CURVE_POINTS, solution.len() as u64);
+    }
+    let points = solution.into_points();
+    Ok(schemes
+        .iter()
+        .enumerate()
+        .map(|(i, &scheme)| {
+            let base = i * points_per_scheme;
+            (0..points_per_scheme)
+                .map(|j| NetworkPerformance {
+                    scheme,
+                    stages: stage_counts[base + j],
+                    demand: demands[base + j],
+                    point: points[base + j],
+                })
+                .collect()
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +345,50 @@ mod tests {
                 assert_eq!(swept.demand(), pointwise.demand());
             }
         }
+    }
+
+    #[test]
+    fn batched_curves_match_cold_pointwise_bitwise() {
+        let w = WorkloadParams::at_level(Level::Middle);
+        let schemes = [Scheme::Base, Scheme::NoCache, Scheme::SoftwareFlush];
+        let curves = network_power_curves(&schemes, &w, 10).unwrap();
+        assert_eq!(curves.len(), 3);
+        for (i, &s) in schemes.iter().enumerate() {
+            assert_eq!(curves[i].len(), 11);
+            for (stages, batched) in curves[i].iter().enumerate() {
+                let stages = stages as u32;
+                // Bit-identical to a cold scalar guarded-Newton solve...
+                let d = batched.demand();
+                let cold = solve_with(
+                    d.transaction_rate(),
+                    d.transaction_size(),
+                    stages,
+                    SolveOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(
+                    batched.operating_point().think_fraction().to_bits(),
+                    cold.think_fraction().to_bits(),
+                    "{s} at {stages} stages"
+                );
+                // ...and within solver tolerance of the legacy pointwise path.
+                let pointwise = analyze_network(s, &w, stages).unwrap();
+                let du = (batched.operating_point().think_fraction()
+                    - pointwise.operating_point().think_fraction())
+                .abs();
+                assert!(du < 1e-9, "{s} at {stages} stages: ΔU = {du:e}");
+                assert_eq!(batched.demand(), pointwise.demand());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_curves_reject_dragon() {
+        let w = WorkloadParams::default();
+        assert!(matches!(
+            network_power_curves(&[Scheme::Base, Scheme::Dragon], &w, 4).unwrap_err(),
+            ModelError::UnsupportedScheme { .. }
+        ));
     }
 
     #[test]

@@ -56,6 +56,24 @@ pub struct OperatingPoint {
 }
 
 impl OperatingPoint {
+    /// Assembles a solved point from its parts (the batch engine solves
+    /// the fixed point outside this module; see [`crate::batch`]).
+    pub(crate) fn from_parts(
+        stages: u32,
+        rate: f64,
+        size: f64,
+        think_fraction: f64,
+        accepted: f64,
+    ) -> Self {
+        OperatingPoint {
+            stages,
+            rate,
+            size,
+            think_fraction,
+            accepted,
+        }
+    }
+
     /// Number of network stages `n`.
     pub fn stages(&self) -> u32 {
         self.stages

@@ -39,6 +39,26 @@ pub struct MvaSolution {
 }
 
 impl MvaSolution {
+    /// Assembles a solution from its parts (the batch engine runs the
+    /// MVA recurrence outside this module; see [`crate::batch`]).
+    pub(crate) fn from_parts(
+        customers: u32,
+        service: f64,
+        think: f64,
+        response: f64,
+        throughput: f64,
+        queue_len: f64,
+    ) -> Self {
+        MvaSolution {
+            customers,
+            service,
+            think,
+            response,
+            throughput,
+            queue_len,
+        }
+    }
+
     /// Number of customers (processors) `n`.
     pub fn customers(&self) -> u32 {
         self.customers
@@ -220,6 +240,16 @@ impl MvaSweep {
     /// Consumes the sweep, returning the solutions.
     pub fn into_points(self) -> Vec<MvaSolution> {
         self.points
+    }
+
+    /// Assembles a sweep from its parts (the batch engine runs the
+    /// recurrence outside this module; see [`crate::batch`]).
+    pub(crate) fn from_parts(service: f64, think: f64, points: Vec<MvaSolution>) -> Self {
+        MvaSweep {
+            service,
+            think,
+            points,
+        }
     }
 }
 

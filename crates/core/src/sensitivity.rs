@@ -15,6 +15,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::machine_repairman_grid;
 use crate::demand::{scheme_demand, Demand};
 use crate::error::Result;
 use crate::queue::machine_repairman;
@@ -134,19 +135,25 @@ pub fn sensitivity_table_at(
     sensitivity_table_cached(operating_point, &mut cache)
 }
 
-/// Memoized execution-time evaluation keyed on the per-instruction
-/// demand.
+/// Memoized contention-solve evaluation keyed on the MVA inputs.
 ///
 /// `analyze_bus` depends on the workload only through the demand
-/// `(c, b)`, and many of the 11 × 2 × 4 parameter variations leave a
-/// scheme's demand unchanged (e.g. `apl` touches no scheme but
-/// Software-Flush, and Base ignores every sharing parameter). Hashing
-/// `f64`s is fraught, so the cache is a linear scan over at most a few
-/// dozen `(Scheme, Demand)` keys — cheap next to an MVA solve.
+/// `(c, b)`, and the contention penalty `w` depends on the demand only
+/// through the queueing inputs `(service, think) = (b, c − b)`. Keying
+/// on those bits — rather than on the `(Scheme, Demand)` pair that
+/// produced them — lets *any* solve fill the cache for *any* consumer:
+/// two schemes whose variations induce the same queue see one solve,
+/// and a table filled by the batch grid engine
+/// ([`machine_repairman_grid`]) is shared with later scalar lookups
+/// (the batch lanes are bit-identical to scalar solves, so the cached
+/// `w` is the same number either way). Hashing `f64`s is fraught, so
+/// the cache is a linear scan over at most a few dozen bit-pattern
+/// keys — cheap next to an MVA solve.
 struct CpiCache {
     processors: u32,
     system: BusSystemModel,
-    entries: Vec<(Scheme, Demand, f64)>,
+    /// `(service.to_bits(), think.to_bits()) → waiting`.
+    entries: Vec<((u64, u64), f64)>,
 }
 
 impl CpiCache {
@@ -158,21 +165,57 @@ impl CpiCache {
         }
     }
 
+    fn key(demand: &Demand) -> (u64, u64) {
+        (
+            demand.interconnect().to_bits(),
+            demand.think_time().to_bits(),
+        )
+    }
+
+    fn cached_waiting(&self, key: (u64, u64)) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, w)| w)
+    }
+
+    /// Solves every demand not already cached in one lockstep batch
+    /// grid pass, so a whole table's worth of cells costs a single
+    /// [`machine_repairman_grid`] call.
+    fn fill_batch(&mut self, demands: &[Demand]) -> Result<()> {
+        let mut keys: Vec<(u64, u64)> = Vec::new();
+        let mut services: Vec<f64> = Vec::new();
+        let mut thinks: Vec<f64> = Vec::new();
+        for demand in demands {
+            let key = Self::key(demand);
+            if self.cached_waiting(key).is_none() && !keys.contains(&key) {
+                keys.push(key);
+                services.push(demand.interconnect());
+                thinks.push(demand.think_time());
+            }
+        }
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let grid = machine_repairman_grid(self.processors, &services, &thinks)?;
+        for (key, mva) in keys.into_iter().zip(grid) {
+            self.entries.push((key, mva.waiting()));
+        }
+        Ok(())
+    }
+
     /// Execution time `c + w` for one scheme/workload, reusing any prior
-    /// result computed at the same demand.
+    /// result — scalar- or batch-solved — computed at the same queueing
+    /// inputs.
     fn cycles_per_instruction(&mut self, scheme: Scheme, workload: &WorkloadParams) -> Result<f64> {
         let demand = scheme_demand(scheme, workload, &self.system)?;
-        if let Some(&(_, _, time)) = self
-            .entries
-            .iter()
-            .find(|(s, d, _)| *s == scheme && *d == demand)
-        {
-            return Ok(time);
+        let key = Self::key(&demand);
+        if let Some(waiting) = self.cached_waiting(key) {
+            return Ok(demand.cpu() + waiting);
         }
         let mva = machine_repairman(self.processors, demand.interconnect(), demand.think_time())?;
-        let time = demand.cpu() + mva.waiting();
-        self.entries.push((scheme, demand, time));
-        Ok(time)
+        self.entries.push((key, mva.waiting()));
+        Ok(demand.cpu() + mva.waiting())
     }
 }
 
@@ -180,7 +223,11 @@ fn sensitivity_table_cached(
     operating_point: &WorkloadParams,
     cache: &mut CpiCache,
 ) -> Result<SensitivityTable> {
-    let mut cells = Vec::with_capacity(ParamId::ALL.len() * Scheme::ALL.len());
+    // First pass: materialize every cell's workload and demand, then
+    // hand the whole set of missing queueing points to the batch grid
+    // engine in one call.
+    let mut variations = Vec::with_capacity(ParamId::ALL.len());
+    let mut demands = Vec::with_capacity(ParamId::ALL.len() * Scheme::ALL.len() * 2);
     for param in ParamId::ALL {
         let range = TABLE7_RANGES.range(param);
         let low = operating_point
@@ -190,11 +237,20 @@ fn sensitivity_table_cached(
             .with_param(param, range.high)
             .expect("Table 7 high values are in-domain");
         for scheme in Scheme::ALL {
+            demands.push(scheme_demand(scheme, &low, &cache.system)?);
+            demands.push(scheme_demand(scheme, &high, &cache.system)?);
+        }
+        variations.push((param, low, high));
+    }
+    cache.fill_batch(&demands)?;
+    let mut cells = Vec::with_capacity(ParamId::ALL.len() * Scheme::ALL.len());
+    for (param, low, high) in &variations {
+        for scheme in Scheme::ALL {
             cells.push(SensitivityCell {
-                param,
+                param: *param,
                 scheme,
-                time_low: cache.cycles_per_instruction(scheme, &low)?,
-                time_high: cache.cycles_per_instruction(scheme, &high)?,
+                time_low: cache.cycles_per_instruction(scheme, low)?,
+                time_high: cache.cycles_per_instruction(scheme, high)?,
             });
         }
     }
@@ -484,6 +540,44 @@ mod tests {
             assert_eq!(c.time_low, t_low, "{}/{} low", c.param, c.scheme);
             assert_eq!(c.time_high, t_high, "{}/{} high", c.param, c.scheme);
         }
+    }
+
+    #[test]
+    fn table_is_solved_as_one_batch_grid() {
+        // The whole table's contention solves go through a single
+        // lockstep grid call, and every assembly lookup hits the
+        // batch-filled cache — no scalar solves at all.
+        use crate::metrics;
+        let ((), span) = swcc_obs::capture(|| {
+            sensitivity_table(16).unwrap();
+        });
+        assert_eq!(span.counter(metrics::BATCH_MVA_GRIDS), Some(1));
+        let lanes = span.counter(metrics::BATCH_MVA_GRID_LANES).unwrap();
+        assert!(
+            (1..=88).contains(&lanes),
+            "deduped lanes should not exceed 11 params × 4 schemes × 2 levels, got {lanes}"
+        );
+        assert_eq!(
+            span.counter(metrics::MVA_SOLVES),
+            Some(lanes),
+            "only the batch grid may solve"
+        );
+    }
+
+    #[test]
+    fn averaged_table_shares_the_cache_across_levels() {
+        use crate::metrics;
+        let ((), span) = swcc_obs::capture(|| {
+            sensitivity_table_averaged(16).unwrap();
+        });
+        // Three tables, three grid calls — but later grids only solve
+        // queueing points the earlier ones have not already cached.
+        assert_eq!(span.counter(metrics::BATCH_MVA_GRIDS), Some(3));
+        let lanes = span.counter(metrics::BATCH_MVA_GRID_LANES).unwrap();
+        assert!(
+            lanes < 3 * 88,
+            "cache sharing across msdat levels should dedupe, got {lanes}"
+        );
     }
 
     #[test]

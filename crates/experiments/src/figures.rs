@@ -4,8 +4,9 @@
 //! [`crate::validation`]; everything here is pure analytical model and
 //! runs in microseconds.
 
-use swcc_core::bus::bus_power_curve;
-use swcc_core::network::{self, analyze_network};
+use swcc_core::batch::{machine_repairman_grid, BatchPatelSolver};
+use swcc_core::bus::{bus_power_curve_set, bus_power_curves};
+use swcc_core::network::{analyze_network, network_power_curves};
 use swcc_core::prelude::*;
 
 use crate::artifact::{Figure, Series};
@@ -14,6 +15,13 @@ use crate::artifact::{Figure, Series};
 /// plots, which run to 16).
 pub const BUS_MAX_PROCESSORS: u32 = 16;
 
+fn power_points(curve: &[BusPerformance]) -> Vec<(f64, f64)> {
+    curve
+        .iter()
+        .map(|p| (f64::from(p.processors()), p.power()))
+        .collect()
+}
+
 fn bus_figure(title: &str, workload: &WorkloadParams) -> Figure {
     let system = BusSystemModel::new();
     let mut fig = Figure::new(title, "processors", "processing power");
@@ -21,16 +29,11 @@ fn bus_figure(title: &str, workload: &WorkloadParams) -> Figure {
         .map(|n| (f64::from(n), f64::from(n)))
         .collect();
     fig.push_series(Series::new("ideal", ideal));
-    for scheme in Scheme::ALL {
-        let curve = bus_power_curve(scheme, workload, &system, BUS_MAX_PROCESSORS)
-            .expect("all schemes are defined on a bus");
-        fig.push_series(Series::new(
-            scheme.to_string(),
-            curve
-                .iter()
-                .map(|p| (f64::from(p.processors()), p.power()))
-                .collect(),
-        ));
+    // All four scheme curves come from one lockstep batch grid pass.
+    let curves = bus_power_curves(&Scheme::ALL, workload, &system, BUS_MAX_PROCESSORS)
+        .expect("all schemes are defined on a bus");
+    for (scheme, curve) in Scheme::ALL.into_iter().zip(&curves) {
+        fig.push_series(Series::new(scheme.to_string(), power_points(curve)));
     }
     fig
 }
@@ -97,28 +100,33 @@ pub fn fig7() -> Figure {
         "processors",
         "processing power",
     );
-    for apl in [1.0, 2.0, 4.0, 8.0, 25.0, 100.0] {
-        let wl = w.with_param(ParamId::Apl, apl).expect("apl >= 1");
-        let curve = bus_power_curve(Scheme::SoftwareFlush, &wl, &system, BUS_MAX_PROCESSORS)
-            .expect("software-flush runs on a bus");
+    // Six apl variants plus two reference schemes: eight curve lanes,
+    // one lockstep batch grid pass.
+    const APLS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 25.0, 100.0];
+    let mut cases: Vec<(Scheme, WorkloadParams)> = APLS
+        .iter()
+        .map(|&apl| {
+            (
+                Scheme::SoftwareFlush,
+                w.with_param(ParamId::Apl, apl).expect("apl >= 1"),
+            )
+        })
+        .collect();
+    cases.push((Scheme::Dragon, w));
+    cases.push((Scheme::NoCache, w));
+    let curves = bus_power_curve_set(&cases, &system, BUS_MAX_PROCESSORS)
+        .expect("all cases are defined on a bus");
+    for (apl, curve) in APLS.iter().zip(&curves) {
         fig.push_series(Series::new(
             format!("Software-Flush apl={apl}"),
-            curve
-                .iter()
-                .map(|p| (f64::from(p.processors()), p.power()))
-                .collect(),
+            power_points(curve),
         ));
     }
-    for scheme in [Scheme::Dragon, Scheme::NoCache] {
-        let curve =
-            bus_power_curve(scheme, &w, &system, BUS_MAX_PROCESSORS).expect("defined on a bus");
-        fig.push_series(Series::new(
-            scheme.to_string(),
-            curve
-                .iter()
-                .map(|p| (f64::from(p.processors()), p.power()))
-                .collect(),
-        ));
+    for (scheme, curve) in [Scheme::Dragon, Scheme::NoCache]
+        .into_iter()
+        .zip(&curves[6..])
+    {
+        fig.push_series(Series::new(scheme.to_string(), power_points(curve)));
     }
     fig
 }
@@ -128,16 +136,31 @@ fn apl_sweep_figure(title: &str, shd: f64) -> Figure {
     let base = WorkloadParams::default()
         .with_param(ParamId::Shd, shd)
         .expect("shd is a probability");
+    // The 50 apl operating points share one demand computation and one
+    // batch MVA grid per processor count; each lane is bit-identical to
+    // the pointwise analyze_bus call it replaces.
+    let demands: Vec<Demand> = (1..=50u32)
+        .map(|apl_i| {
+            let w = base
+                .with_param(ParamId::Apl, f64::from(apl_i))
+                .expect("apl >= 1");
+            scheme_demand(Scheme::SoftwareFlush, &w, &system).expect("software-flush runs on a bus")
+        })
+        .collect();
+    let services: Vec<f64> = demands.iter().map(Demand::interconnect).collect();
+    let thinks: Vec<f64> = demands.iter().map(Demand::think_time).collect();
     let mut fig = Figure::new(title, "apl", "processing power");
     for n in [4u32, 8, 16] {
-        let mut points = Vec::new();
-        for apl_i in 1..=50u32 {
-            let apl = f64::from(apl_i);
-            let w = base.with_param(ParamId::Apl, apl).expect("apl >= 1");
-            let p = analyze_bus(Scheme::SoftwareFlush, &w, &system, n)
-                .expect("software-flush runs on a bus");
-            points.push((apl, p.power()));
-        }
+        let grid = machine_repairman_grid(n, &services, &thinks).expect("valid queueing inputs");
+        let points = demands
+            .iter()
+            .zip(&grid)
+            .enumerate()
+            .map(|(i, (demand, mva))| {
+                let power = f64::from(n) / (demand.cpu() + mva.waiting());
+                (f64::from(i as u32 + 1), power)
+            })
+            .collect();
         fig.push_series(Series::new(format!("{n} processors"), points));
     }
     fig
@@ -170,26 +193,22 @@ pub fn fig10() -> Figure {
         "processors",
         "processing power",
     );
-    for scheme in Scheme::ALL {
-        let curve =
-            bus_power_curve(scheme, &w, &system, 64).expect("all schemes are defined on a bus");
+    let bus_curves =
+        bus_power_curves(&Scheme::ALL, &w, &system, 64).expect("all schemes are defined on a bus");
+    for (scheme, curve) in Scheme::ALL.into_iter().zip(&bus_curves) {
+        fig.push_series(Series::new(format!("{scheme} (bus)"), power_points(curve)));
+    }
+    let net_schemes = [Scheme::Base, Scheme::SoftwareFlush, Scheme::NoCache];
+    let net_curves =
+        network_power_curves(&net_schemes, &w, 6).expect("software schemes run on networks");
+    for (scheme, curve) in net_schemes.into_iter().zip(&net_curves) {
         fig.push_series(Series::new(
-            format!("{scheme} (bus)"),
+            format!("{scheme} (network)"),
             curve
                 .iter()
                 .map(|p| (f64::from(p.processors()), p.power()))
                 .collect(),
         ));
-    }
-    for scheme in [Scheme::Base, Scheme::SoftwareFlush, Scheme::NoCache] {
-        let points: Vec<(f64, f64)> = (0..=6u32)
-            .map(|stages| {
-                let p =
-                    analyze_network(scheme, &w, stages).expect("software schemes run on networks");
-                (f64::from(p.processors()), p.power())
-            })
-            .collect();
-        fig.push_series(Series::new(format!("{scheme} (network)"), points));
     }
     fig.notes
         .push("network points at power-of-two processor counts (1..64)".into());
@@ -210,14 +229,27 @@ pub fn fig11() -> Figure {
         "request rate (transactions/cycle)",
         "processor utilization",
     );
+    // All five curves (5 message sizes × 60 rates) solve as one
+    // 300-lane lockstep batch.
+    let mut rates = Vec::with_capacity(FIG11_MESSAGE_WORDS.len() * 60);
+    let mut sizes = Vec::with_capacity(FIG11_MESSAGE_WORDS.len() * 60);
     for words in FIG11_MESSAGE_WORDS {
         let t = f64::from(words) + round_trip;
-        let mut points = Vec::new();
         for i in 1..=60u32 {
-            let m = f64::from(i) / 60.0;
-            let op = network::solve(m, t, stages).expect("valid rate and size");
-            points.push((m, op.think_fraction()));
+            rates.push(f64::from(i) / 60.0);
+            sizes.push(t);
         }
+    }
+    let batch = BatchPatelSolver::new()
+        .solve(&rates, &sizes, stages)
+        .expect("valid rates and sizes");
+    for (w, words) in FIG11_MESSAGE_WORDS.iter().enumerate() {
+        let points = (0..60)
+            .map(|i| {
+                let lane = w * 60 + i;
+                (rates[lane], batch.points()[lane].think_fraction())
+            })
+            .collect();
         fig.push_series(Series::new(format!("{words}-word messages"), points));
     }
     // The nine marked points.

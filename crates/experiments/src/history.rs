@@ -20,17 +20,23 @@
 //!   evaluations and solves across the whole run.
 //! * **per-figure accuracy errors** (lower is better; ceiling) — the
 //!   model-vs-simulation envelope of each validation figure.
+//! * **batch reference iterations** (lower is better; ceiling) — the
+//!   residual evaluations of a fixed 256-lane batch solve,
+//!   deterministic for a given batch engine.
 //!
-//! Wall-clock time is recorded for the trend table but never gated.
+//! Wall-clock time and batch throughput (lanes per second) are
+//! recorded for the trend table but never gated.
 //! Records from `--quick` runs and full runs are never compared with
 //! each other (the workload differs by construction), and a record is
 //! only comparable when it covers the same number of experiments.
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
+use swcc_core::batch::BatchPatelSolver;
 use swcc_core::metrics as core_metrics;
 use swcc_core::network::WarmSolver;
 use swcc_obs::quantile::median;
@@ -116,6 +122,57 @@ impl WarmStartStats {
     }
 }
 
+/// Batch-engine statistics: the run's whole-run lane counters plus a
+/// fixed reference grid re-solved at record time (mirroring how
+/// [`WarmStartStats`] re-runs the bench rate sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Batched Patel solves the recorded run issued.
+    pub batches: u64,
+    /// Lanes across those batches.
+    pub lanes: u64,
+    /// Residual evaluations of the fixed 256-lane reference grid —
+    /// deterministic for a given solver, so it is gated as a ceiling
+    /// like the scalar iteration counts.
+    pub reference_iterations: u64,
+    /// Reference-grid throughput in lanes per second. Machine
+    /// dependent: shown in the trend table, never gated.
+    pub lanes_per_second: f64,
+}
+
+impl BatchStats {
+    /// Lanes in the reference grid.
+    pub const REFERENCE_LANES: usize = 256;
+
+    /// Re-solves the fixed reference grid (the bench batch section's
+    /// demand range at a smaller width) and pairs it with the run's
+    /// batch counters.
+    pub fn measure(batches: u64, lanes: u64) -> BatchStats {
+        const STAGES: u32 = 8;
+        const REPS: usize = 8;
+        let rates: Vec<f64> = (1..=Self::REFERENCE_LANES)
+            .map(|i| i as f64 * 4.0e-4)
+            .collect();
+        let sizes = vec![20.0; Self::REFERENCE_LANES];
+        let solver = BatchPatelSolver::new();
+        let start = Instant::now();
+        let mut reference_iterations = 0;
+        for _ in 0..REPS {
+            let solution = solver
+                .solve(&rates, &sizes, STAGES)
+                .expect("reference grid is solvable");
+            reference_iterations = solution.total_iterations();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        BatchStats {
+            batches,
+            lanes,
+            reference_iterations,
+            lanes_per_second: (Self::REFERENCE_LANES * REPS) as f64 / elapsed.max(1e-12),
+        }
+    }
+}
+
 /// One recorded run: a single line of `history/runs.jsonl`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistoryRecord {
@@ -137,6 +194,9 @@ pub struct HistoryRecord {
     pub solver: SolverStats,
     /// Cold-versus-warm iteration comparison.
     pub warm_start: WarmStartStats,
+    /// Batch-engine counters and reference-grid measurement. `None`
+    /// only for records written before the batch engine existed.
+    pub batch: Option<BatchStats>,
 }
 
 impl HistoryRecord {
@@ -184,6 +244,10 @@ impl HistoryRecord {
                 bracket_fallbacks: counter(core_metrics::SOLVER_BRACKET_FALLBACKS),
             },
             warm_start: WarmStartStats::measure(),
+            batch: Some(BatchStats::measure(
+                counter(core_metrics::BATCH_PATEL_BATCHES),
+                counter(core_metrics::BATCH_PATEL_LANES),
+            )),
         }
     }
 
@@ -210,6 +274,14 @@ impl HistoryRecord {
                 "unsupported history schema {schema:?} (expected {HISTORY_SCHEMA:?})"
             ));
         }
+        if value.get_field("batch").is_none() {
+            // Pre-batch-engine record: the vendored serde has no
+            // `#[serde(default)]`, so read it through the mirror and
+            // upgrade explicitly (same pattern as `RunManifestV1`).
+            let early: HistoryRecordPreBatch =
+                serde_json::from_str(line).map_err(|e| format!("invalid history record: {e}"))?;
+            return Ok(early.upgrade());
+        }
         serde_json::from_str(line).map_err(|e| format!("invalid history record: {e}"))
     }
 
@@ -219,6 +291,39 @@ impl HistoryRecord {
             .iter()
             .map(|a| a.max_rel_error)
             .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+}
+
+/// The record shape written before the batch engine existed —
+/// identical to [`HistoryRecord`] minus the `batch` section. Old logs
+/// are read through this mirror and upgraded explicitly.
+#[derive(Debug, Clone, Deserialize)]
+struct HistoryRecordPreBatch {
+    schema: String,
+    build: BuildProvenance,
+    quick: bool,
+    jobs: usize,
+    experiments: usize,
+    wall_ms: f64,
+    accuracy: Vec<AccuracyEntry>,
+    solver: SolverStats,
+    warm_start: WarmStartStats,
+}
+
+impl HistoryRecordPreBatch {
+    fn upgrade(self) -> HistoryRecord {
+        HistoryRecord {
+            schema: self.schema,
+            build: self.build,
+            quick: self.quick,
+            jobs: self.jobs,
+            experiments: self.experiments,
+            wall_ms: self.wall_ms,
+            accuracy: self.accuracy,
+            solver: self.solver,
+            warm_start: self.warm_start,
+            batch: None,
+        }
     }
 }
 
@@ -387,6 +492,13 @@ fn gated_quantities(record: &HistoryRecord) -> Vec<(String, DriftDirection, f64)
             record.solver.solves as f64,
         ),
     ];
+    if let Some(batch) = &record.batch {
+        out.push((
+            "batch reference iterations".to_string(),
+            DriftDirection::Ceiling,
+            batch.reference_iterations as f64,
+        ));
+    }
     for entry in &record.accuracy {
         out.push((
             format!("{} max rel error", entry.figure),
@@ -494,8 +606,16 @@ pub fn render_history(records: &[HistoryRecord], last: usize) -> String {
     );
     let _ = writeln!(
         out,
-        "  {:<4} {:<10} {:<5} {:>4} {:>10} {:>9} {:>13} {:>11}",
-        "#", "commit", "quick", "exps", "wall ms", "speedup", "resid evals", "worst err"
+        "  {:<4} {:<10} {:<5} {:>4} {:>10} {:>9} {:>13} {:>12} {:>11}",
+        "#",
+        "commit",
+        "quick",
+        "exps",
+        "wall ms",
+        "speedup",
+        "resid evals",
+        "batch l/s",
+        "worst err"
     );
     let offset = records.len() - shown.len();
     for (i, r) in shown.iter().enumerate() {
@@ -504,9 +624,14 @@ pub fn render_history(records: &[HistoryRecord], last: usize) -> String {
             .worst_rel_error()
             .map(|e| format!("{:.2}%", e * 100.0))
             .unwrap_or_else(|| "-".to_string());
+        let batch_rate = r
+            .batch
+            .as_ref()
+            .map(|b| format!("{:.2e}", b.lanes_per_second))
+            .unwrap_or_else(|| "-".to_string());
         let _ = writeln!(
             out,
-            "  {:<4} {:<10} {:<5} {:>4} {:>10.1} {:>9.2} {:>13} {:>11}",
+            "  {:<4} {:<10} {:<5} {:>4} {:>10.1} {:>9.2} {:>13} {:>12} {:>11}",
             offset + i + 1,
             commit,
             r.quick,
@@ -514,6 +639,7 @@ pub fn render_history(records: &[HistoryRecord], last: usize) -> String {
             r.wall_ms,
             r.warm_start.iteration_speedup,
             r.solver.residual_evals,
+            batch_rate,
             worst
         );
     }
@@ -547,6 +673,12 @@ mod tests {
                 warm_iterations: 160,
                 iteration_speedup: speedup,
             },
+            batch: Some(BatchStats {
+                batches: 12,
+                lanes: 4000,
+                reference_iterations: 1200,
+                lanes_per_second: 2.5e7,
+            }),
         }
     }
 
@@ -556,6 +688,61 @@ mod tests {
         let line = r.to_jsonl();
         assert!(!line.contains('\n'));
         assert_eq!(HistoryRecord::from_jsonl(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn pre_batch_records_parse_and_skip_batch_gating() {
+        // A line written before the batch engine: no `batch` field.
+        let mut r = record(true, 2.5, 9000, 0.12);
+        r.batch = None;
+        let line = r.to_jsonl().replace(",\"batch\":null", "");
+        assert!(!line.contains("batch"), "{line}");
+        let parsed = HistoryRecord::from_jsonl(&line).unwrap();
+        assert_eq!(parsed, r);
+
+        // Mixed history: batchless predecessors mean the batch ceiling
+        // has no trailing median, so it is skipped, not failed.
+        let mut old = record(true, 2.5, 9000, 0.12);
+        old.batch = None;
+        let history = [old.clone(), old, record(true, 2.5, 9000, 0.12)];
+        let outcome = detect_drift(&history, DEFAULT_DRIFT_TOLERANCE);
+        assert!(outcome.passed(), "{}", outcome.render());
+        assert!(!outcome
+            .rows
+            .iter()
+            .any(|row| row.quantity == "batch reference iterations"));
+    }
+
+    #[test]
+    fn drifted_batch_iterations_fail_the_gate() {
+        let mut slow = record(true, 2.5, 9000, 0.12);
+        if let Some(batch) = &mut slow.batch {
+            batch.reference_iterations = 2400; // batch engine doing 2x the work
+        }
+        let history = [
+            record(true, 2.5, 9000, 0.12),
+            record(true, 2.5, 9000, 0.12),
+            slow,
+        ];
+        let outcome = detect_drift(&history, DEFAULT_DRIFT_TOLERANCE);
+        assert!(!outcome.passed());
+        let row = outcome
+            .rows
+            .iter()
+            .find(|r| r.quantity == "batch reference iterations")
+            .unwrap();
+        assert!(row.drifted);
+    }
+
+    #[test]
+    fn batch_stats_reference_grid_is_deterministic() {
+        let a = BatchStats::measure(3, 99);
+        let b = BatchStats::measure(3, 99);
+        assert_eq!(a.reference_iterations, b.reference_iterations);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.lanes, 99);
+        assert!(a.reference_iterations > 0);
+        assert!(a.lanes_per_second > 0.0);
     }
 
     #[test]

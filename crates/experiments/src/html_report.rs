@@ -547,7 +547,7 @@ pub fn render_dashboard(trace: Option<&TraceReport>, history: &[HistoryRecord]) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::{AccuracyEntry, SolverStats, WarmStartStats, HISTORY_SCHEMA};
+    use crate::history::{AccuracyEntry, BatchStats, SolverStats, WarmStartStats, HISTORY_SCHEMA};
     use crate::trace_report::analyze;
 
     fn sample_report() -> TraceReport {
@@ -588,6 +588,12 @@ mod tests {
                     warm_iterations: 160,
                     iteration_speedup: 2.5,
                 },
+                batch: Some(BatchStats {
+                    batches: 12,
+                    lanes: 4000,
+                    reference_iterations: 1200,
+                    lanes_per_second: 2.5e7,
+                }),
             })
             .collect()
     }

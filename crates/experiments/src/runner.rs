@@ -3,10 +3,16 @@
 //! Experiments in the [`crate::registry`] are independent pure functions
 //! of their [`RunOptions`], so a batch of them parallelizes trivially: a
 //! fixed pool of scoped threads ([`std::thread::scope`] — no external
-//! thread-pool dependency) pulls experiment indices from a shared atomic
-//! counter until the batch is drained. Results come back in registry
-//! order regardless of completion order, and each artifact records its
-//! own wall-clock duration as a footnote.
+//! thread-pool dependency) pulls **chunks** of experiment indices from a
+//! shared atomic counter until the batch is drained. Each worker hands
+//! its whole chunk to the model layer's batch solver engine in sequence
+//! ([`swcc_core::batch`] — the experiment bodies batch their grids
+//! internally), so the per-claim synchronization cost is amortized over
+//! the chunk; the chunk size is sized so each worker still sees several
+//! claims per batch, keeping work stealing effective against one slow
+//! experiment. Results come back in registry order regardless of
+//! completion order, and each artifact records its own wall-clock
+//! duration as a footnote.
 //!
 //! The `repro` binary drives this through `--jobs N`; library users call
 //! [`run_selected`] or [`run_all`] directly.
@@ -93,8 +99,9 @@ pub fn default_jobs() -> NonZeroUsize {
 /// Runs the given experiments on a pool of `jobs` worker threads.
 ///
 /// Results are returned in input order. Each worker repeatedly claims
-/// the next unclaimed experiment (work stealing via an atomic cursor),
-/// so one slow experiment cannot idle the rest of the pool. With
+/// the next unclaimed chunk of experiments (work stealing via an atomic
+/// cursor; chunks shrink to single experiments for small batches), so
+/// one slow experiment cannot idle the rest of the pool. With
 /// `jobs = 1` the behavior is exactly sequential.
 ///
 /// # Panics
@@ -148,6 +155,11 @@ pub fn run_selected_observed(
     };
     let batch_span_id = batch_span.id();
     let cursor = AtomicUsize::new(0);
+    // Chunked claiming: each fetch_add hands a worker a run of
+    // consecutive experiments. Aim for ~4 claims per worker so the
+    // claim overhead amortizes on large fleets while small batches
+    // (chunk = 1) keep today's one-at-a-time stealing granularity.
+    let chunk = (experiments.len() / (workers * 4)).max(1);
     let batch_start = Instant::now();
     let (tx, rx) = mpsc::channel::<(usize, RunRecord)>();
     std::thread::scope(|scope| {
@@ -155,52 +167,64 @@ pub fn run_selected_observed(
             let tx = tx.clone();
             let cursor = &cursor;
             scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(exp) = experiments.get(i) else { break };
-                let queue_wait = batch_start.elapsed();
-                // Worker threads have no thread-local link to the batch
-                // span, so parent explicitly across the thread boundary.
-                let exp_span = if tracing {
-                    swcc_obs::span_under(
-                        EV_RUNNER_EXPERIMENT,
-                        batch_span_id,
-                        &[
-                            swcc_obs::Field::str("id", exp.id),
-                            swcc_obs::Field::u64("worker", worker as u64),
-                            swcc_obs::Field::f64("queue_wait_ms", queue_wait.as_secs_f64() * 1e3),
-                        ],
-                    )
-                } else {
-                    swcc_obs::span_under(EV_RUNNER_EXPERIMENT, 0, &[])
-                };
-                let start = Instant::now();
-                let (mut artifact, metrics) = if observe {
-                    swcc_obs::capture(|| (exp.run)(options))
-                } else {
-                    ((exp.run)(options), MetricsSnapshot::default())
-                };
-                let duration = start.elapsed();
-                drop(exp_span);
-                if observe {
-                    swcc_obs::counter_add(RUNNER_EXPERIMENTS, 1);
-                    swcc_obs::observe(RUNNER_RUN_MS, duration.as_secs_f64() * 1e3);
-                    swcc_obs::observe(RUNNER_QUEUE_WAIT_MS, queue_wait.as_secs_f64() * 1e3);
+                let first = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if first >= experiments.len() {
+                    break;
                 }
-                artifact.push_note(format!(
-                    "runner: completed in {:.1} ms",
-                    duration.as_secs_f64() * 1e3
-                ));
-                let record = RunRecord {
-                    id: exp.id,
-                    title: exp.title,
-                    artifact,
-                    duration,
-                    queue_wait,
-                    worker,
-                    metrics,
-                };
-                // The receiver outlives the scope; a send cannot fail.
-                let _ = tx.send((i, record));
+                let last = (first + chunk).min(experiments.len());
+                for (i, exp) in experiments[first..last]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, e)| (first + j, e))
+                {
+                    let queue_wait = batch_start.elapsed();
+                    // Worker threads have no thread-local link to the batch
+                    // span, so parent explicitly across the thread boundary.
+                    let exp_span = if tracing {
+                        swcc_obs::span_under(
+                            EV_RUNNER_EXPERIMENT,
+                            batch_span_id,
+                            &[
+                                swcc_obs::Field::str("id", exp.id),
+                                swcc_obs::Field::u64("worker", worker as u64),
+                                swcc_obs::Field::f64(
+                                    "queue_wait_ms",
+                                    queue_wait.as_secs_f64() * 1e3,
+                                ),
+                            ],
+                        )
+                    } else {
+                        swcc_obs::span_under(EV_RUNNER_EXPERIMENT, 0, &[])
+                    };
+                    let start = Instant::now();
+                    let (mut artifact, metrics) = if observe {
+                        swcc_obs::capture(|| (exp.run)(options))
+                    } else {
+                        ((exp.run)(options), MetricsSnapshot::default())
+                    };
+                    let duration = start.elapsed();
+                    drop(exp_span);
+                    if observe {
+                        swcc_obs::counter_add(RUNNER_EXPERIMENTS, 1);
+                        swcc_obs::observe(RUNNER_RUN_MS, duration.as_secs_f64() * 1e3);
+                        swcc_obs::observe(RUNNER_QUEUE_WAIT_MS, queue_wait.as_secs_f64() * 1e3);
+                    }
+                    artifact.push_note(format!(
+                        "runner: completed in {:.1} ms",
+                        duration.as_secs_f64() * 1e3
+                    ));
+                    let record = RunRecord {
+                        id: exp.id,
+                        title: exp.title,
+                        artifact,
+                        duration,
+                        queue_wait,
+                        worker,
+                        metrics,
+                    };
+                    // The receiver outlives the scope; a send cannot fail.
+                    let _ = tx.send((i, record));
+                }
             });
         }
     });

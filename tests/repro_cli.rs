@@ -809,6 +809,12 @@ fn synthetic_record(speedup: f64, evals: u64, err: f64) -> history::HistoryRecor
             warm_iterations: 160,
             iteration_speedup: speedup,
         },
+        batch: Some(history::BatchStats {
+            batches: 12,
+            lanes: 4000,
+            reference_iterations: 1200,
+            lanes_per_second: 2.5e7,
+        }),
     }
 }
 
