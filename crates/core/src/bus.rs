@@ -51,6 +51,30 @@ impl BusPerformance {
         }
     }
 
+    /// Assembles a performance point from an externally solved queueing
+    /// result — a `(waiting, bus_utilization)` pair produced by
+    /// [`machine_repairman`], [`crate::batch::machine_repairman_grid`],
+    /// or a solved-point cache ([`crate::cache`]) fed by either. When
+    /// the parts come from the same demand and queueing inputs, every
+    /// getter is bit-identical to the [`analyze_bus`] result (the
+    /// getters are shared and the batch lanes are proven bit-equal to
+    /// scalar solves).
+    pub fn from_queue_solution(
+        scheme: Scheme,
+        processors: u32,
+        demand: Demand,
+        waiting: f64,
+        bus_utilization: f64,
+    ) -> Self {
+        BusPerformance {
+            scheme,
+            processors,
+            demand,
+            waiting,
+            bus_utilization,
+        }
+    }
+
     /// The scheme analyzed.
     pub fn scheme(&self) -> Scheme {
         self.scheme

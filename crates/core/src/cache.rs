@@ -1,0 +1,562 @@
+//! Sharded concurrent solved-point cache with single-flight admission.
+//!
+//! The contention solves are pure functions of a handful of `f64` bit
+//! patterns: a machine-repairman `waiting` depends only on
+//! `(service, think, processors)`, a Patel operating point only on
+//! `(rate, size, stages)`. Memoizing them turns a ~µs solve into a
+//! ~40 ns lookup, which is what makes interactive query serving
+//! ([ROADMAP item 1]) viable. This module generalizes the memo that
+//! [`crate::sensitivity`] carried privately (an O(n) linear scan over a
+//! `Vec`) into a shared structure that is:
+//!
+//! * **Sharded** — N independently locked shards, so concurrent server
+//!   threads rarely contend; the shard index is a multiplicative hash
+//!   of the key bits.
+//! * **Sorted** — each shard is a `Vec` ordered by [`PointKey`] and
+//!   probed by binary search: O(log n) key comparisons where the old
+//!   memo paid O(n). A probe counter in [`CacheStats`] lets tests pin
+//!   the bound so the linear scan cannot quietly come back.
+//! * **Single-flight** — [`begin`](SolvedPointCache::begin) returns
+//!   [`Admission::Claimed`] to exactly one caller per missing key;
+//!   concurrent identical queries get [`Admission::Shared`] and block
+//!   on the claimant's [`Flight`] instead of re-solving. The claimant
+//!   [`publish`](SolvedPointCache::publish)es the value (or
+//!   [`abort`](SolvedPointCache::abort)s on failure, waking waiters
+//!   empty-handed so they can fall back to solving themselves).
+//!
+//! Locks are the non-poisoning [`swcc_obs::sync`] wrappers: a worker
+//! that panics mid-insert leaves a valid (merely smaller) shard behind
+//! rather than wedging every later lookup.
+//!
+//! Keys are *bit patterns*, not floats: two demands hash and compare
+//! equal exactly when their inputs are bit-identical, which is the same
+//! criterion under which the batch engines ([`crate::batch`]) are
+//! proven to reproduce scalar solves bit-for-bit — so a value filled by
+//! a batch grid is interchangeable with one filled by a scalar solve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use swcc_obs::sync::{Condvar, Mutex};
+
+/// Identifies one solved operating point.
+///
+/// The `(service, think)` fields are the `to_bits()` images of the
+/// queueing inputs (for the network model: transaction size and rate).
+/// `scheme` and `machine` are small discriminant tags chosen by the
+/// caller; [`PointKey::SHARED_SCHEME`] is reserved for values that are
+/// scheme-invariant (e.g. bus `waiting`, which depends on the demand
+/// alone), letting any scheme's solve fill the cache for every scheme —
+/// the sharing property the sensitivity memo relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointKey {
+    /// Bit pattern of the service-time-like input (`b` / transaction size).
+    pub service: u64,
+    /// Bit pattern of the think-time-like input (`c − b` / rate).
+    pub think: u64,
+    /// Scheme discriminant, or [`PointKey::SHARED_SCHEME`].
+    pub scheme: u32,
+    /// Machine discriminant (bus processor count, network stage tag, …).
+    pub machine: u32,
+}
+
+impl PointKey {
+    /// Scheme tag for values that do not depend on the scheme beyond
+    /// what the other key fields already capture.
+    pub const SHARED_SCHEME: u32 = 0;
+}
+
+/// Outcome of one [`SolvedPointCache::begin`] admission.
+#[derive(Debug)]
+pub enum Admission<V> {
+    /// The value was already solved; use it directly.
+    Hit(V),
+    /// This caller owns the solve: compute the value, then
+    /// [`publish`](SolvedPointCache::publish) it (or
+    /// [`abort`](SolvedPointCache::abort) on failure). Until then every
+    /// other caller for the same key is parked on the flight.
+    Claimed,
+    /// Another caller is already solving this key; wait on the flight.
+    Shared(Arc<Flight<V>>),
+}
+
+/// The rendezvous between one in-progress solve and its waiters.
+#[derive(Debug)]
+pub struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum FlightState<V> {
+    Solving,
+    Done(V),
+    Aborted,
+}
+
+impl<V: Copy> Flight<V> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Solving),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the claimant publishes or aborts. `None` means the
+    /// solve was abandoned and the caller should solve for itself.
+    pub fn wait(&self) -> Option<V> {
+        let guard = self
+            .ready
+            .wait_while(self.state.lock(), |s| matches!(s, FlightState::Solving));
+        match *guard {
+            FlightState::Done(v) => Some(v),
+            FlightState::Aborted => None,
+            FlightState::Solving => unreachable!("wait_while exits only on a terminal state"),
+        }
+    }
+
+    /// Like [`wait`](Flight::wait) but gives up after `timeout`.
+    /// `None` also covers the timeout case — from the waiter's view an
+    /// overdue solve and an abandoned one call for the same fallback.
+    pub fn wait_for(&self, timeout: Duration) -> Option<V> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.state.lock();
+        loop {
+            match *guard {
+                FlightState::Done(v) => return Some(v),
+                FlightState::Aborted => return None,
+                FlightState::Solving => {}
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _timeout) = self.ready.wait_timeout(guard, deadline - now);
+            guard = g;
+        }
+    }
+
+    fn resolve(&self, state: FlightState<V>) {
+        *self.state.lock() = state;
+        self.ready.notify_all();
+    }
+}
+
+#[derive(Debug)]
+enum Slot<V> {
+    Ready(V),
+    Pending(Arc<Flight<V>>),
+}
+
+type Shard<V> = Mutex<Vec<(PointKey, Slot<V>)>>;
+
+/// Point-in-time counters for one cache. `probes` counts key
+/// comparisons made by shard binary searches — the quantity whose
+/// growth distinguishes O(log n) lookups from the old linear scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a `Ready` slot.
+    pub hits: u64,
+    /// Lookups that found no slot (the caller must solve).
+    pub misses: u64,
+    /// Admissions that joined another caller's in-progress solve.
+    pub coalesced: u64,
+    /// Values published or inserted.
+    pub inserts: u64,
+    /// Total key comparisons across all shard searches.
+    pub probes: u64,
+}
+
+/// The sharded, sorted, single-flight solved-point cache.
+#[derive(Debug)]
+pub struct SolvedPointCache<V> {
+    shards: Box<[Shard<V>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    inserts: AtomicU64,
+    probes: AtomicU64,
+}
+
+/// Shard count for [`SolvedPointCache::new`] — enough that a thread
+/// pool sized to typical core counts rarely collides, small enough to
+/// stay cache-friendly for single-threaded users.
+const DEFAULT_SHARDS: usize = 16;
+
+impl<V: Copy> Default for SolvedPointCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy> SolvedPointCache<V> {
+    /// A cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with at least `shards` shards (rounded up to a power of
+    /// two so the shard index is a mask, not a division).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        SolvedPointCache {
+            shards: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PointKey) -> &Shard<V> {
+        // splitmix64-style finalizer over the xored key bits: cheap,
+        // and any single-bit difference diffuses into the low bits
+        // that select the shard.
+        let mut h = key.service
+            ^ key.think.rotate_left(29)
+            ^ (u64::from(key.scheme) << 17)
+            ^ (u64::from(key.machine) << 43);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Binary search counting its key comparisons into `self.probes`.
+    fn search(&self, entries: &[(PointKey, Slot<V>)], key: &PointKey) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = entries.len();
+        let mut comparisons = 0u64;
+        let found = loop {
+            if lo >= hi {
+                break Err(lo);
+            }
+            let mid = lo + (hi - lo) / 2;
+            comparisons += 1;
+            match entries[mid].0.cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => break Ok(mid),
+            }
+        };
+        self.probes.fetch_add(comparisons, Ordering::Relaxed);
+        found
+    }
+
+    /// Looks up a solved value. Pending (in-flight) slots read as
+    /// misses: `get` never blocks.
+    pub fn get(&self, key: &PointKey) -> Option<V> {
+        let entries = self.shard(key).lock();
+        match self.search(&entries, key) {
+            Ok(i) => match &entries[i].1 {
+                Slot::Ready(v) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(*v)
+                }
+                Slot::Pending(_) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) a solved value, resolving any waiters
+    /// parked on the key.
+    pub fn insert(&self, key: PointKey, value: V) {
+        let flight = {
+            let mut entries = self.shard(&key).lock();
+            match self.search(&entries, &key) {
+                Ok(i) => match std::mem::replace(&mut entries[i].1, Slot::Ready(value)) {
+                    Slot::Pending(f) => Some(f),
+                    Slot::Ready(_) => None,
+                },
+                Err(i) => {
+                    entries.insert(i, (key, Slot::Ready(value)));
+                    None
+                }
+            }
+        };
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = flight {
+            f.resolve(FlightState::Done(value));
+        }
+    }
+
+    /// Admission with single-flight coalescing: exactly one concurrent
+    /// caller per missing key is told [`Admission::Claimed`]; the rest
+    /// share that claimant's [`Flight`].
+    pub fn begin(&self, key: PointKey) -> Admission<V> {
+        let mut entries = self.shard(&key).lock();
+        match self.search(&entries, &key) {
+            Ok(i) => match &entries[i].1 {
+                Slot::Ready(v) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Admission::Hit(*v)
+                }
+                Slot::Pending(f) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Admission::Shared(Arc::clone(f))
+                }
+            },
+            Err(i) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                entries.insert(i, (key, Slot::Pending(Arc::new(Flight::new()))));
+                Admission::Claimed
+            }
+        }
+    }
+
+    /// Fulfills a [`Admission::Claimed`] admission. Equivalent to
+    /// [`insert`](SolvedPointCache::insert); the separate name marks
+    /// the single-flight protocol in calling code.
+    pub fn publish(&self, key: PointKey, value: V) {
+        self.insert(key, value);
+    }
+
+    /// Abandons a claimed solve: removes the pending slot and wakes its
+    /// waiters empty-handed. Call this on the error/panic path of a
+    /// claimant so coalesced queries fall back to solving for
+    /// themselves instead of blocking forever.
+    pub fn abort(&self, key: &PointKey) {
+        let flight = {
+            let mut entries = self.shard(key).lock();
+            match self.search(&entries, key) {
+                Ok(i) => match &entries[i].1 {
+                    Slot::Pending(_) => match entries.remove(i).1 {
+                        Slot::Pending(f) => Some(f),
+                        Slot::Ready(_) => unreachable!("checked pending above"),
+                    },
+                    // A concurrent publish won the race; keep the value.
+                    Slot::Ready(_) => None,
+                },
+                Err(_) => None,
+            }
+        };
+        if let Some(f) = flight {
+            f.resolve(FlightState::Aborted);
+        }
+    }
+
+    /// Number of `Ready` + pending entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no entry (solved or in-flight) exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the admission counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    fn key(i: u64) -> PointKey {
+        PointKey {
+            service: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            think: i,
+            scheme: PointKey::SHARED_SCHEME,
+            machine: 16,
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache: SolvedPointCache<f64> = SolvedPointCache::new();
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), 2.5);
+        assert_eq!(cache.get(&key(1)), Some(2.5));
+        assert_eq!(cache.get(&key(2)), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 2, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_differing_in_any_field_are_distinct() {
+        let cache: SolvedPointCache<f64> = SolvedPointCache::new();
+        let base = PointKey {
+            service: 10,
+            think: 20,
+            scheme: 1,
+            machine: 16,
+        };
+        cache.insert(base, 1.0);
+        for variant in [
+            PointKey {
+                service: 11,
+                ..base
+            },
+            PointKey { think: 21, ..base },
+            PointKey { scheme: 2, ..base },
+            PointKey {
+                machine: 17,
+                ..base
+            },
+        ] {
+            assert_eq!(cache.get(&variant), None, "{variant:?}");
+        }
+        assert_eq!(cache.get(&base), Some(1.0));
+    }
+
+    #[test]
+    fn lookup_probes_stay_logarithmic() {
+        // The regression this cache exists to prevent: the sensitivity
+        // memo it replaced probed O(n) entries per lookup. With one
+        // shard (worst case) and n entries, a binary search makes at
+        // most ⌈log2(n)⌉ + 1 comparisons; a linear scan would average
+        // n/2. Pin the bound with a margin so a rewrite that
+        // reintroduces scanning fails loudly.
+        let cache: SolvedPointCache<f64> = SolvedPointCache::with_shards(1);
+        let n: u64 = 4096;
+        for i in 0..n {
+            cache.insert(key(i), i as f64);
+        }
+        let before = cache.stats().probes;
+        let lookups: u64 = 1024;
+        for i in 0..lookups {
+            assert!(cache.get(&key(i * 3 % n)).is_some());
+        }
+        let probes = cache.stats().probes - before;
+        let log_bound = lookups * (n.ilog2() as u64 + 2);
+        assert!(
+            probes <= log_bound,
+            "expected ≤ {log_bound} probes for {lookups} lookups over {n} entries \
+             (binary search), measured {probes} — linear scanning is back?"
+        );
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_queries() {
+        let cache: SolvedPointCache<f64> = SolvedPointCache::new();
+        let solves = AtomicUsize::new(0);
+        let threads = 8;
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| match cache.begin(key(7)) {
+                    Admission::Hit(v) => assert_eq!(v, 7.0),
+                    Admission::Claimed => {
+                        solves.fetch_add(1, Ordering::SeqCst);
+                        // Hold the claim long enough that peers arrive.
+                        thread::sleep(Duration::from_millis(20));
+                        cache.publish(key(7), 7.0);
+                    }
+                    Admission::Shared(flight) => {
+                        assert_eq!(flight.wait(), Some(7.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve");
+        assert_eq!(cache.get(&key(7)), Some(7.0));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits + s.coalesced + 1, threads + 1, "everyone answered");
+    }
+
+    #[test]
+    fn abort_wakes_waiters_empty_handed() {
+        let cache: SolvedPointCache<f64> = SolvedPointCache::new();
+        assert!(matches!(cache.begin(key(3)), Admission::Claimed));
+        thread::scope(|scope| {
+            let waiter = scope.spawn(|| match cache.begin(key(3)) {
+                Admission::Shared(flight) => flight.wait(),
+                other => panic!("expected to share the flight, got {other:?}"),
+            });
+            thread::sleep(Duration::from_millis(10));
+            cache.abort(&key(3));
+            assert_eq!(waiter.join().unwrap(), None);
+        });
+        // The key is free again: the next admission re-claims it.
+        assert!(matches!(cache.begin(key(3)), Admission::Claimed));
+        cache.publish(key(3), 3.0);
+        assert_eq!(cache.get(&key(3)), Some(3.0));
+    }
+
+    #[test]
+    fn wait_for_times_out_on_a_stuck_claimant() {
+        let cache: SolvedPointCache<f64> = SolvedPointCache::new();
+        assert!(matches!(cache.begin(key(9)), Admission::Claimed));
+        let flight = match cache.begin(key(9)) {
+            Admission::Shared(f) => f,
+            other => panic!("expected shared, got {other:?}"),
+        };
+        assert_eq!(flight.wait_for(Duration::from_millis(20)), None);
+    }
+
+    #[test]
+    fn a_panicking_claimant_does_not_wedge_the_shard() {
+        // The non-poisoning locks at work: a thread that panics while
+        // touching a shard leaves it usable. (The claimant's pending
+        // slot is cleaned up by abort, as the serve worker's panic
+        // handler does.)
+        let cache: SolvedPointCache<f64> = SolvedPointCache::with_shards(1);
+        cache.insert(key(1), 1.0);
+        thread::scope(|scope| {
+            let t = scope.spawn(|| {
+                match cache.begin(key(2)) {
+                    Admission::Claimed => (),
+                    other => panic!("expected claim, got {other:?}"),
+                }
+                panic!("worker dies while its claim is pending");
+            });
+            assert!(t.join().is_err());
+        });
+        // Shard still answers; supervisor aborts the orphaned claim.
+        assert_eq!(cache.get(&key(1)), Some(1.0));
+        cache.abort(&key(2));
+        assert!(matches!(cache.begin(key(2)), Admission::Claimed));
+        cache.publish(key(2), 2.0);
+        assert_eq!(cache.get(&key(2)), Some(2.0));
+    }
+
+    #[test]
+    fn concurrent_mixed_load_is_consistent() {
+        let cache: SolvedPointCache<u64> = SolvedPointCache::with_shards(8);
+        let keys: u64 = 64;
+        thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for round in 0..200u64 {
+                        let i = (t * 31 + round) % keys;
+                        match cache.begin(key(i)) {
+                            Admission::Hit(v) => assert_eq!(v, i * 10),
+                            Admission::Claimed => cache.publish(key(i), i * 10),
+                            Admission::Shared(f) => {
+                                if let Some(v) = f.wait() {
+                                    assert_eq!(v, i * 10);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), keys as usize);
+        for i in 0..keys {
+            assert_eq!(cache.get(&key(i)), Some(i * 10), "key {i}");
+        }
+    }
+}

@@ -64,6 +64,7 @@
 
 pub mod batch;
 pub mod bus;
+pub mod cache;
 pub mod demand;
 pub mod directory;
 mod error;

@@ -36,6 +36,26 @@ pub struct NetworkPerformance {
 }
 
 impl NetworkPerformance {
+    /// Assembles a performance point from an externally solved Patel
+    /// operating point — e.g. a [`crate::batch::BatchPatelSolver`] lane
+    /// or a solved-point cache ([`crate::cache`]) entry. With the same
+    /// demand and point, every getter matches what the solving path
+    /// produced, bitwise. The caller is responsible for the
+    /// [`Scheme::requires_bus`] check that [`analyze_network`] performs.
+    pub fn from_operating_point(
+        scheme: Scheme,
+        stages: u32,
+        demand: Demand,
+        point: OperatingPoint,
+    ) -> Self {
+        NetworkPerformance {
+            scheme,
+            stages,
+            demand,
+            point,
+        }
+    }
+
     /// The scheme analyzed.
     pub fn scheme(&self) -> Scheme {
         self.scheme

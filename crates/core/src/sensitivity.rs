@@ -16,6 +16,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::batch::machine_repairman_grid;
+use crate::cache::{PointKey, SolvedPointCache};
 use crate::demand::{scheme_demand, Demand};
 use crate::error::Result;
 use crate::queue::machine_repairman;
@@ -140,20 +141,25 @@ pub fn sensitivity_table_at(
 /// `analyze_bus` depends on the workload only through the demand
 /// `(c, b)`, and the contention penalty `w` depends on the demand only
 /// through the queueing inputs `(service, think) = (b, c − b)`. Keying
-/// on those bits — rather than on the `(Scheme, Demand)` pair that
-/// produced them — lets *any* solve fill the cache for *any* consumer:
-/// two schemes whose variations induce the same queue see one solve,
-/// and a table filled by the batch grid engine
-/// ([`machine_repairman_grid`]) is shared with later scalar lookups
-/// (the batch lanes are bit-identical to scalar solves, so the cached
-/// `w` is the same number either way). Hashing `f64`s is fraught, so
-/// the cache is a linear scan over at most a few dozen bit-pattern
-/// keys — cheap next to an MVA solve.
+/// on those bits — with [`PointKey::SHARED_SCHEME`], rather than on the
+/// `(Scheme, Demand)` pair that produced them — lets *any* solve fill
+/// the cache for *any* consumer: two schemes whose variations induce
+/// the same queue see one solve, and a table filled by the batch grid
+/// engine ([`machine_repairman_grid`]) is shared with later scalar
+/// lookups (the batch lanes are bit-identical to scalar solves, so the
+/// cached `w` is the same number either way).
+///
+/// Storage is the workspace-wide sharded solved-point cache
+/// ([`SolvedPointCache`]): binary-searched sorted shards replace the
+/// O(n) linear scan this module used to carry, so table fills no longer
+/// degrade quadratically as distinct demands accumulate (the
+/// `lookup_probes_stay_logarithmic` test in [`crate::cache`] pins the
+/// probe bound).
 struct CpiCache {
     processors: u32,
     system: BusSystemModel,
-    /// `(service.to_bits(), think.to_bits()) → waiting`.
-    entries: Vec<((u64, u64), f64)>,
+    /// `(service bits, think bits, SHARED_SCHEME, processors) → waiting`.
+    points: SolvedPointCache<f64>,
 }
 
 impl CpiCache {
@@ -161,34 +167,29 @@ impl CpiCache {
         CpiCache {
             processors,
             system: BusSystemModel::new(),
-            entries: Vec::new(),
+            points: SolvedPointCache::new(),
         }
     }
 
-    fn key(demand: &Demand) -> (u64, u64) {
-        (
-            demand.interconnect().to_bits(),
-            demand.think_time().to_bits(),
-        )
-    }
-
-    fn cached_waiting(&self, key: (u64, u64)) -> Option<f64> {
-        self.entries
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|&(_, w)| w)
+    fn key(&self, demand: &Demand) -> PointKey {
+        PointKey {
+            service: demand.interconnect().to_bits(),
+            think: demand.think_time().to_bits(),
+            scheme: PointKey::SHARED_SCHEME,
+            machine: self.processors,
+        }
     }
 
     /// Solves every demand not already cached in one lockstep batch
     /// grid pass, so a whole table's worth of cells costs a single
     /// [`machine_repairman_grid`] call.
     fn fill_batch(&mut self, demands: &[Demand]) -> Result<()> {
-        let mut keys: Vec<(u64, u64)> = Vec::new();
+        let mut keys: Vec<PointKey> = Vec::new();
         let mut services: Vec<f64> = Vec::new();
         let mut thinks: Vec<f64> = Vec::new();
         for demand in demands {
-            let key = Self::key(demand);
-            if self.cached_waiting(key).is_none() && !keys.contains(&key) {
+            let key = self.key(demand);
+            if self.points.get(&key).is_none() && !keys.contains(&key) {
                 keys.push(key);
                 services.push(demand.interconnect());
                 thinks.push(demand.think_time());
@@ -199,7 +200,7 @@ impl CpiCache {
         }
         let grid = machine_repairman_grid(self.processors, &services, &thinks)?;
         for (key, mva) in keys.into_iter().zip(grid) {
-            self.entries.push((key, mva.waiting()));
+            self.points.insert(key, mva.waiting());
         }
         Ok(())
     }
@@ -209,12 +210,12 @@ impl CpiCache {
     /// inputs.
     fn cycles_per_instruction(&mut self, scheme: Scheme, workload: &WorkloadParams) -> Result<f64> {
         let demand = scheme_demand(scheme, workload, &self.system)?;
-        let key = Self::key(&demand);
-        if let Some(waiting) = self.cached_waiting(key) {
+        let key = self.key(&demand);
+        if let Some(waiting) = self.points.get(&key) {
             return Ok(demand.cpu() + waiting);
         }
         let mva = machine_repairman(self.processors, demand.interconnect(), demand.think_time())?;
-        self.entries.push((key, mva.waiting()));
+        self.points.insert(key, mva.waiting());
         Ok(demand.cpu() + mva.waiting())
     }
 }
@@ -577,6 +578,33 @@ mod tests {
         assert!(
             lanes < 3 * 88,
             "cache sharing across msdat levels should dedupe, got {lanes}"
+        );
+    }
+
+    #[test]
+    fn memo_lookups_are_logarithmic_not_linear() {
+        // Regression for the O(n)-scan memo this module used to carry:
+        // every lookup/insert over the shared solved-point cache must
+        // probe at most ~log2(entries) keys. The bound is the binary-
+        // search invariant itself, so a reintroduced scan (probes ≈
+        // entries/2 per lookup) trips it even at table-sized n; the
+        // large-n separation is pinned in `crate::cache` tests.
+        let mut cache = CpiCache::new(16);
+        let t =
+            sensitivity_table_cached(&WorkloadParams::at_level(Level::Middle), &mut cache).unwrap();
+        assert_eq!(t.cells().len(), 44);
+        let s = cache.points.stats();
+        let entries = (cache.points.len() as u64).max(2);
+        let ops = s.hits + s.misses + s.inserts;
+        assert!(ops >= 88, "every cell consults the memo, got {ops} ops");
+        let bound = ops * (u64::from(entries.ilog2()) + 2);
+        assert!(
+            s.probes <= bound,
+            "probes {} exceed the logarithmic bound {} ({} ops over {} entries)",
+            s.probes,
+            bound,
+            ops,
+            entries
         );
     }
 

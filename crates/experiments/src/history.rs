@@ -427,7 +427,7 @@ impl DriftOutcome {
             for note in &self.notes {
                 let _ = writeln!(out, "note: {note}");
             }
-            out.push_str("drift: SKIPPED (nothing comparable)\n");
+            out.push_str("drift: SKIPPED (insufficient history)\n");
             return out;
         }
         let _ = writeln!(
@@ -522,7 +522,7 @@ pub fn detect_drift(history: &[HistoryRecord], tolerance: f64) -> DriftOutcome {
             rows: Vec::new(),
             compared: 0,
             tolerance,
-            notes: vec!["history is empty".to_string()],
+            notes: vec!["insufficient history: no records yet".to_string()],
         };
     };
     let comparable: Vec<&HistoryRecord> = trailing
@@ -535,7 +535,9 @@ pub fn detect_drift(history: &[HistoryRecord], tolerance: f64) -> DriftOutcome {
             compared: comparable.len(),
             tolerance,
             notes: vec![format!(
-                "only {} comparable trailing run(s) (need 2); record more history",
+                "insufficient history: {} comparable trailing run(s), but a trailing \
+                 median needs at least 2 — gating against a single run would turn \
+                 one noisy sample into a hard floor; record more history",
                 comparable.len()
             )],
         };
@@ -791,15 +793,28 @@ mod tests {
 
     #[test]
     fn drift_needs_two_comparable_predecessors() {
+        // No records, one record, two records: each skips with an
+        // explicit "insufficient history" note and a passing verdict —
+        // a median over a single predecessor would turn one noisy
+        // sample into a hard gate.
         let outcome = detect_drift(&[], DEFAULT_DRIFT_TOLERANCE);
         assert!(outcome.passed());
-        let outcome = detect_drift(
-            &[record(true, 2.5, 9000, 0.12), record(true, 2.5, 9000, 0.12)],
-            DEFAULT_DRIFT_TOLERANCE,
+        assert!(
+            outcome.render().contains("insufficient history"),
+            "{}",
+            outcome.render()
         );
-        assert!(outcome.passed());
-        assert!(outcome.rows.is_empty());
-        assert!(outcome.render().contains("SKIPPED"));
+        for history in [
+            vec![record(true, 2.5, 9000, 0.12)],
+            vec![record(true, 2.5, 9000, 0.12), record(true, 2.5, 9000, 0.12)],
+        ] {
+            let outcome = detect_drift(&history, DEFAULT_DRIFT_TOLERANCE);
+            assert!(outcome.passed());
+            assert!(outcome.rows.is_empty());
+            let rendered = outcome.render();
+            assert!(rendered.contains("SKIPPED"), "{rendered}");
+            assert!(rendered.contains("insufficient history"), "{rendered}");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod metric;
 pub mod quantile;
 mod recorder;
 mod registry;
+pub mod sync;
 pub mod trace;
 pub mod tree;
 

@@ -30,18 +30,56 @@
 /// The `q`-quantile (`0.0 ..= 1.0`) of `values`, ignoring non-finite
 /// samples. `None` when `q` is out of range or no finite sample remains.
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
-    if !(0.0..=1.0).contains(&q) {
-        return None;
-    }
+    let finite = finite_sorted(values)?;
+    sorted_quantile(&finite, q)
+}
+
+/// Several quantiles of the same sample in one pass: the filter + sort
+/// is paid once instead of once per `q` (the load-test harness asks for
+/// p50/p90/p99 of millions of latencies). Each returned slot is exactly
+/// what [`quantile`] returns for the same `q`.
+///
+/// `None` when no finite sample remains; per-slot `None` for an
+/// out-of-range `q`.
+pub fn quantiles(values: &[f64], qs: &[f64]) -> Option<Vec<Option<f64>>> {
+    let finite = finite_sorted(values)?;
+    Some(qs.iter().map(|&q| sorted_quantile(&finite, q)).collect())
+}
+
+/// Finite samples in [`f64::total_cmp`] order, or `None` when empty.
+fn finite_sorted(values: &[f64]) -> Option<Vec<f64>> {
     let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
     if finite.is_empty() {
         return None;
     }
     finite.sort_unstable_by(f64::total_cmp);
-    let rank = q * (finite.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
+    Some(finite)
+}
+
+/// The type-7 estimate over an already-sorted non-empty sample.
+///
+/// The upper index is `lo + 1` capped at the last element, never
+/// `rank.ceil()`: for `q` near 1.0 the product `q * (len - 1)` is
+/// computed in floating point, and a `ceil` of a value that rounded a
+/// hair above `len - 1` would index out of bounds, while `min` cannot.
+/// (`frac` is clamped to `[0, 1]` for the same reason.)
+fn sorted_quantile(finite: &[f64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let last = finite.len() - 1;
+    let rank = q * last as f64;
+    let lo = (rank.floor() as usize).min(last);
+    let hi = (lo + 1).min(last);
+    let frac = (rank - lo as f64).clamp(0.0, 1.0);
+    if frac == 0.0 {
+        // An exact order statistic is returned as-is. Running it
+        // through the interpolation arithmetic is not a no-op:
+        // `x + (y - x) * 0.0` rewrites `-0.0` to `+0.0`, and when
+        // `y - x` overflows to infinity it manufactures a NaN
+        // (`inf * 0.0`) out of two perfectly finite samples.
+        return Some(finite[lo]);
+    }
     Some(finite[lo] + (finite[hi] - finite[lo]) * frac)
 }
 
@@ -124,5 +162,107 @@ mod tests {
         assert_eq!(p50(&xs), Some(6.0));
         assert_eq!(p90(&xs), Some(10.0));
         assert!((p99(&xs).unwrap() - 10.9).abs() < 1e-12);
+    }
+
+    // --- edge-case pinning: the cases a load-test p99 depends on -------
+
+    #[test]
+    fn single_finite_value_among_nan_is_every_quantile() {
+        // Filtering must reduce this to the one-sample case, not panic
+        // or interpolate against garbage.
+        let xs = [f64::NAN, 42.5, f64::NAN, f64::INFINITY];
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile(&xs, q), Some(42.5), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn q_one_upper_index_never_escapes_the_slice() {
+        // rank = q * (len - 1) is a floating-point product; the upper
+        // order statistic must be index-capped, not `ceil`-derived, so
+        // q = 1.0 (and q infinitesimally below it) address the last
+        // element for every length.
+        for len in 1..=257_usize {
+            let xs: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            assert_eq!(quantile(&xs, 1.0), Some((len - 1) as f64), "len {len}");
+            let just_below = 1.0 - f64::EPSILON;
+            let v = quantile(&xs, just_below).unwrap();
+            assert!(
+                v <= (len - 1) as f64 && v >= (len.saturating_sub(2)) as f64,
+                "len {len}: q just below 1.0 gave {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_nan_input_is_none_for_every_q() {
+        let xs = [f64::NAN; 8];
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(quantile(&xs, q), None, "q = {q}");
+        }
+        assert_eq!(quantiles(&xs, &[0.5, 0.99]), None);
+    }
+
+    #[test]
+    fn mixed_nan_positions_do_not_change_the_estimate() {
+        // NaN payloads sort unpredictably under partial comparisons;
+        // after filtering, their position in the input must be
+        // irrelevant — same finite values, same answer, bitwise.
+        let clean = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let variants: [&[f64]; 3] = [
+            &[f64::NAN, 5.0, 1.0, 3.0, 2.0, 4.0],
+            &[5.0, 1.0, f64::NAN, 3.0, 2.0, f64::NAN, 4.0],
+            &[5.0, 1.0, 3.0, 2.0, 4.0, f64::NAN],
+        ];
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let want = quantile(&clean, q).unwrap();
+            for (i, xs) in variants.iter().enumerate() {
+                let got = quantile(xs, q).unwrap();
+                assert_eq!(got.to_bits(), want.to_bits(), "variant {i}, q = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_zeros_sort_deterministically() {
+        // total_cmp orders -0.0 before +0.0; the median of the pair is
+        // a zero either way, and the order of the inputs cannot flip
+        // which order statistic is which.
+        assert_eq!(
+            quantile(&[0.0, -0.0], 0.0).unwrap().to_bits(),
+            (-0.0_f64).to_bits()
+        );
+        assert_eq!(
+            quantile(&[-0.0, 0.0], 1.0).unwrap().to_bits(),
+            (0.0_f64).to_bits()
+        );
+        assert_eq!(median(&[0.0, -0.0]), Some(0.0));
+    }
+
+    #[test]
+    fn quantiles_batch_matches_individual_calls() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let qs = [0.0, 0.5, 0.9, 0.99, 1.0, 1.5, -0.1];
+        let batch = quantiles(&xs, &qs).unwrap();
+        assert_eq!(batch.len(), qs.len());
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(batch[i], quantile(&xs, q), "q = {q}");
+        }
+        // Out-of-range slots are None without voiding the rest.
+        assert_eq!(batch[5], None);
+        assert_eq!(batch[6], None);
+    }
+
+    #[test]
+    fn extreme_magnitudes_interpolate_without_overflow_surprises() {
+        let xs = [f64::MIN, f64::MAX];
+        // lo + (hi - lo) * frac with frac = 0.5: (MAX - MIN) overflows
+        // to +inf and the estimate becomes +inf * 0.5 + MIN; pin the
+        // current behavior so a future "fix" is a deliberate choice.
+        let mid = quantile(&xs, 0.5).unwrap();
+        assert!(mid.is_infinite() && mid > 0.0);
+        // The exact order statistics are still exact.
+        assert_eq!(quantile(&xs, 0.0), Some(f64::MIN));
+        assert_eq!(quantile(&xs, 1.0), Some(f64::MAX));
     }
 }

@@ -1,0 +1,216 @@
+//! Non-poisoning synchronization primitives.
+//!
+//! `std::sync::Mutex` poisons itself when a thread panics while holding
+//! the guard, and every later `.lock().unwrap()` then panics too — one
+//! crashed worker cascades into unrelated failures across the process
+//! (observability sinks going dark, cache shards becoming unusable,
+//! whole servers aborting). For the shared state in this workspace that
+//! is never the right trade: every protected structure (event buffers,
+//! solved-point cache shards, latency accumulators) is valid after any
+//! prefix of mutations, so the data a panicking thread leaves behind is
+//! at worst *incomplete*, never *corrupt*.
+//!
+//! [`Mutex`] and [`Condvar`] here are thin wrappers over the `std`
+//! types that recover from poisoning via
+//! [`PoisonError::into_inner`] instead of propagating it — the
+//! `parking_lot` behavior, built from `std` only (this workspace
+//! vendors no external crates). The panic itself still unwinds on the
+//! thread that caused it; callers that want to *report* it (e.g. the
+//! query service naming the request that crashed) catch it at their
+//! boundary with `std::panic::catch_unwind`.
+//!
+//! ```
+//! use swcc_obs::sync::Mutex;
+//!
+//! let shared = Mutex::new(vec![1, 2, 3]);
+//! shared.lock().push(4);
+//! assert_eq!(shared.lock().len(), 4);
+//! ```
+
+use std::fmt;
+use std::sync::{LockResult, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Unwraps a [`LockResult`], recovering the guard from a poisoned lock.
+fn recover<G>(result: LockResult<G>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A mutual-exclusion lock that never propagates poisoning.
+///
+/// [`lock`](Mutex::lock) is infallible: if a previous holder panicked,
+/// the next caller silently takes the lock and sees whatever state the
+/// panicking thread left behind. The guard is the plain
+/// [`std::sync::MutexGuard`], so it composes with [`Condvar`].
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value (recovering it
+    /// even if the lock was poisoned).
+    pub fn into_inner(self) -> T {
+        recover(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available. Never panics
+    /// on poison: a previous holder's panic is recovered from.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        recover(self.inner.lock())
+    }
+
+    /// Attempts to acquire the lock without blocking. `None` when the
+    /// lock is currently held (poison, as always, is recovered from).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (the borrow checker proves
+    /// exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.inner.get_mut())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+/// A condition variable whose wait operations recover from poisoning,
+/// for use with [`Mutex`] guards.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing `guard` while waiting.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        recover(self.inner.wait(guard))
+    }
+
+    /// Blocks until notified and `condition` returns `false`.
+    pub fn wait_while<'a, T, F: FnMut(&mut T) -> bool>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        condition: F,
+    ) -> MutexGuard<'a, T> {
+        recover(self.inner.wait_while(guard, condition))
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        recover(self.inner.wait_timeout(guard, timeout))
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_survives_a_panicking_holder() {
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        let writer = Arc::clone(&shared);
+        let crash = thread::spawn(move || {
+            let mut guard = writer.lock();
+            guard.push(1);
+            panic!("worker dies mid-update");
+        });
+        assert!(crash.join().is_err(), "the worker must have panicked");
+        // A std Mutex would now be poisoned and this lock would panic;
+        // the wrapper recovers and sees the partial (but valid) state.
+        let mut guard = shared.lock();
+        assert_eq!(*guard, vec![1]);
+        guard.push(2);
+        assert_eq!(*guard, vec![1, 2]);
+    }
+
+    #[test]
+    fn try_lock_recovers_from_poison_and_reports_contention() {
+        let shared = Arc::new(Mutex::new(7_u32));
+        let holder = Arc::clone(&shared);
+        let _ = thread::spawn(move || {
+            let _guard = holder.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*shared.try_lock().expect("poison is recovered"), 7);
+        let held = shared.lock();
+        assert!(shared.try_lock().is_none(), "held lock must report busy");
+        drop(held);
+    }
+
+    #[test]
+    fn condvar_wakes_through_a_recovered_lock() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Poison the mutex first so the wait path exercises recovery.
+        let poisoner = Arc::clone(&pair);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.0.lock();
+            panic!("poison before the wait");
+        })
+        .join();
+        let signaler = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            *signaler.0.lock() = true;
+            signaler.1.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let guard = cv.wait_while(lock.lock(), |ready| !*ready);
+        assert!(*guard);
+        drop(guard);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn into_inner_and_get_mut_recover() {
+        let mut m = Mutex::new(String::from("x"));
+        m.get_mut().push('y');
+        assert_eq!(m.into_inner(), "xy");
+    }
+}

@@ -591,7 +591,7 @@ impl EventSink for JsonlSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
+    use crate::sync::Mutex;
 
     /// One owned copy of a recorded event: kind, name, span id, parent
     /// id, and the fields.
@@ -605,7 +605,7 @@ mod tests {
 
     impl EventSink for VecSink {
         fn record(&self, event: &TraceEvent<'_>) {
-            self.events.lock().unwrap().push((
+            self.events.lock().push((
                 event.kind,
                 event.name,
                 event.span,
@@ -632,7 +632,6 @@ mod tests {
     ) -> Vec<(EventKind, &'static str, u64, u64, Vec<Field>)> {
         sink.events
             .lock()
-            .unwrap()
             .iter()
             .filter(|e| e.1 == name)
             .cloned()

@@ -1,0 +1,536 @@
+//! Closed-loop load harness for `swcc-serve`.
+//!
+//! ```text
+//! swcc-loadgen --addr HOST:PORT [--connections N] [--duration-ms MS]
+//!              [--sweep-points K] [--processors P] [--full]
+//!              [--min-qps Q] [--min-hit-rate R] [--verify]
+//!              [--out PATH] [--shutdown]
+//! ```
+//!
+//! Each connection replays one compact batch request — all four
+//! schemes swept over `shd` at `K` points each — as fast as the server
+//! answers, after one untimed warmup round that populates the cache.
+//! The report (stdout, and `--out` as JSON, schema `swcc-loadgen/v1`)
+//! gives served-query throughput, request latency quantiles
+//! ([`swcc_obs::quantile`]), and the server's cache counter deltas.
+//!
+//! Gates (process exits nonzero on violation):
+//!
+//! * every request must succeed (`"ok":true`);
+//! * `--min-qps` — served queries/second floor;
+//! * `--min-hit-rate` — cache hits ÷ admissions floor over the timed
+//!   window (the warmup makes the steady state all-hits);
+//! * the server's hit counter must move at all (the cache is actually
+//!   in the serving path).
+//!
+//! `--verify` additionally replays a set of full-mode single queries
+//! and bit-compares every served float against the equivalent direct
+//! library call in this process — proving the wire format preserves
+//! results exactly. Keep `--connections` at or below the server's
+//! worker count: the server is one-thread-per-connection.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use swcc_core::batch::{BatchPatelSolver, Stages};
+use swcc_core::bus::analyze_bus;
+use swcc_core::demand::scheme_demand;
+use swcc_core::network::NetworkPerformance;
+use swcc_core::scheme::Scheme;
+use swcc_core::system::{BusSystemModel, NetworkSystemModel};
+use swcc_core::workload::{Level, WorkloadParams};
+
+struct Args {
+    addr: String,
+    connections: usize,
+    duration: Duration,
+    sweep_points: u32,
+    processors: u32,
+    compact: bool,
+    min_qps: f64,
+    min_hit_rate: f64,
+    verify: bool,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: swcc-loadgen --addr HOST:PORT [--connections N] [--duration-ms MS] \
+     [--sweep-points K] [--processors P] [--full] [--min-qps Q] \
+     [--min-hit-rate R] [--verify] [--out PATH] [--shutdown]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        addr: String::new(),
+        connections: 4,
+        duration: Duration::from_millis(2000),
+        sweep_points: 2048,
+        processors: 16,
+        compact: true,
+        min_qps: 0.0,
+        min_hit_rate: 0.0,
+        verify: false,
+        out: None,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--addr" => parsed.addr = value("--addr")?,
+            "--connections" => {
+                parsed.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
+                if parsed.connections == 0 {
+                    return Err("--connections must be at least 1".to_string());
+                }
+            }
+            "--duration-ms" => {
+                let ms: u64 = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("--duration-ms: {e}"))?;
+                parsed.duration = Duration::from_millis(ms.max(1));
+            }
+            "--sweep-points" => {
+                parsed.sweep_points = value("--sweep-points")?
+                    .parse()
+                    .map_err(|e| format!("--sweep-points: {e}"))?;
+                if parsed.sweep_points == 0 {
+                    return Err("--sweep-points must be at least 1".to_string());
+                }
+            }
+            "--processors" => {
+                parsed.processors = value("--processors")?
+                    .parse()
+                    .map_err(|e| format!("--processors: {e}"))?;
+            }
+            "--full" => parsed.compact = false,
+            "--min-qps" => {
+                parsed.min_qps = value("--min-qps")?
+                    .parse()
+                    .map_err(|e| format!("--min-qps: {e}"))?;
+            }
+            "--min-hit-rate" => {
+                parsed.min_hit_rate = value("--min-hit-rate")?
+                    .parse()
+                    .map_err(|e| format!("--min-hit-rate: {e}"))?;
+            }
+            "--verify" => parsed.verify = true,
+            "--out" => parsed.out = Some(value("--out")?),
+            "--shutdown" => parsed.shutdown = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if parsed.addr.is_empty() {
+        return Err(format!("--addr is required\n{}", usage()));
+    }
+    Ok(parsed)
+}
+
+/// One request line: every scheme swept over `shd`, bus machine.
+fn build_request(args: &Args) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!("{{\"compact\":{},\"queries\":[", args.compact);
+    for (i, scheme) in ["base", "no-cache", "software-flush", "dragon"]
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(
+            line,
+            "{{\"scheme\":\"{scheme}\",\"machine\":{{\"interconnect\":\"bus\",\
+             \"processors\":{}}},\"sweep\":{{\"param\":\"shd\",\"from\":0.02,\
+             \"to\":0.2,\"points\":{}}}}}",
+            args.processors, args.sweep_points
+        );
+    }
+    line.push_str("]}");
+    line
+}
+
+struct WorkerReport {
+    requests: u64,
+    queries: u64,
+    errors: u64,
+    latencies_us: Vec<f64>,
+}
+
+fn connect(addr: &str) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    Ok((reader, BufWriter::new(stream)))
+}
+
+fn round_trip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    line: &str,
+    response: &mut String,
+) -> Result<(), String> {
+    writer
+        .write_all(line.as_bytes())
+        .map_err(|e| e.to_string())?;
+    writer.write_all(b"\n").map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    response.clear();
+    let n = reader.read_line(response).map_err(|e| e.to_string())?;
+    if n == 0 {
+        return Err("server closed the connection".to_string());
+    }
+    Ok(())
+}
+
+fn worker(addr: String, line: String, queries_per_request: u64, deadline: Instant) -> WorkerReport {
+    let mut report = WorkerReport {
+        requests: 0,
+        queries: 0,
+        errors: 0,
+        latencies_us: Vec::new(),
+    };
+    let (mut reader, mut writer) = match connect(&addr) {
+        Ok(pair) => pair,
+        Err(_) => {
+            report.errors += 1;
+            return report;
+        }
+    };
+    let mut response = String::new();
+    // Warmup round: populates the cache, untimed.
+    if round_trip(&mut reader, &mut writer, &line, &mut response).is_err()
+        || !response.starts_with("{\"ok\":true")
+    {
+        report.errors += 1;
+        return report;
+    }
+    while Instant::now() < deadline {
+        let started = Instant::now();
+        if round_trip(&mut reader, &mut writer, &line, &mut response).is_err() {
+            report.errors += 1;
+            break;
+        }
+        report
+            .latencies_us
+            .push(started.elapsed().as_secs_f64() * 1e6);
+        report.requests += 1;
+        if response.starts_with("{\"ok\":true") {
+            report.queries += queries_per_request;
+        } else {
+            report.errors += 1;
+        }
+    }
+    report
+}
+
+fn server_stat(stats: &Value, path: &[&str]) -> u64 {
+    let mut node = stats;
+    for key in path {
+        node = match node.get_field(key) {
+            Some(v) => v,
+            None => return 0,
+        };
+    }
+    node.as_u64().unwrap_or(0)
+}
+
+fn fetch_stats(addr: &str) -> Result<Value, String> {
+    let (mut reader, mut writer) = connect(addr)?;
+    let mut response = String::new();
+    round_trip(
+        &mut reader,
+        &mut writer,
+        r#"{"cmd":"stats"}"#,
+        &mut response,
+    )?;
+    serde_json::from_str(response.trim()).map_err(|e| format!("stats response: {e}"))
+}
+
+fn field_f64(value: &Value, name: &str) -> Result<f64, String> {
+    value
+        .get_field(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("response missing numeric \"{name}\""))
+}
+
+/// Bit-compares full-mode served results against direct library calls.
+fn verify(addr: &str, processors: u32) -> Result<u64, String> {
+    let (mut reader, mut writer) = connect(addr)?;
+    let mut response = String::new();
+    let workload = WorkloadParams::at_level(Level::Middle);
+    let bus_system = BusSystemModel::new();
+    let mut checked = 0u64;
+
+    for scheme in Scheme::ALL {
+        let line = format!(
+            "{{\"queries\":[{{\"scheme\":\"{scheme}\",\"machine\":{{\
+             \"interconnect\":\"bus\",\"processors\":{processors}}}}}]}}"
+        );
+        round_trip(&mut reader, &mut writer, &line, &mut response)?;
+        let parsed: Value =
+            serde_json::from_str(response.trim()).map_err(|e| format!("verify parse: {e}"))?;
+        let point = parsed
+            .get_field("results")
+            .and_then(|r| r.get_index(0))
+            .and_then(|q| q.get_field("points"))
+            .and_then(|p| p.get_index(0))
+            .ok_or_else(|| format!("verify: malformed response for {scheme}: {response}"))?;
+        let direct =
+            analyze_bus(scheme, &workload, &bus_system, processors).map_err(|e| e.to_string())?;
+        for (name, want) in [
+            ("power", direct.power()),
+            ("utilization", direct.utilization()),
+            ("cpi", direct.cycles_per_instruction()),
+            ("waiting", direct.waiting()),
+            ("bus_utilization", direct.bus_utilization()),
+        ] {
+            let got = field_f64(point, name)?;
+            if got.to_bits() != want.to_bits() {
+                return Err(format!(
+                    "verify: bus {scheme} {name} mismatch: served {got:?} vs direct {want:?}"
+                ));
+            }
+            checked += 1;
+        }
+    }
+
+    for scheme in [Scheme::Base, Scheme::NoCache, Scheme::SoftwareFlush] {
+        let stages = 6u32;
+        let line = format!(
+            "{{\"queries\":[{{\"scheme\":\"{scheme}\",\"machine\":{{\
+             \"interconnect\":\"network\",\"stages\":{stages}}}}}]}}"
+        );
+        round_trip(&mut reader, &mut writer, &line, &mut response)?;
+        let parsed: Value =
+            serde_json::from_str(response.trim()).map_err(|e| format!("verify parse: {e}"))?;
+        let point = parsed
+            .get_field("results")
+            .and_then(|r| r.get_index(0))
+            .and_then(|q| q.get_field("points"))
+            .and_then(|p| p.get_index(0))
+            .ok_or_else(|| format!("verify: malformed response for {scheme}: {response}"))?;
+        let demand = scheme_demand(scheme, &workload, &NetworkSystemModel::new(stages))
+            .map_err(|e| e.to_string())?;
+        let solved = BatchPatelSolver::new()
+            .solve_grid(
+                &[demand.transaction_rate()],
+                &[demand.transaction_size()],
+                &Stages::Uniform(stages),
+                None,
+            )
+            .map_err(|e| e.to_string())?;
+        let direct =
+            NetworkPerformance::from_operating_point(scheme, stages, demand, solved.points()[0]);
+        for (name, want) in [
+            ("power", direct.power()),
+            ("utilization", direct.utilization()),
+        ] {
+            let got = field_f64(point, name)?;
+            if got.to_bits() != want.to_bits() {
+                return Err(format!(
+                    "verify: network {scheme} {name} mismatch: served {got:?} vs direct {want:?}"
+                ));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let line = build_request(&args);
+    let queries_per_request = 4 * u64::from(args.sweep_points);
+
+    let before = fetch_stats(&args.addr)?;
+    let deadline = Instant::now() + args.duration;
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let mut handles = Vec::new();
+    for _ in 0..args.connections {
+        let tx = tx.clone();
+        let addr = args.addr.clone();
+        let line = line.clone();
+        handles.push(thread::spawn(move || {
+            let report = worker(addr, line, queries_per_request, deadline);
+            let _ = tx.send(report);
+        }));
+    }
+    drop(tx);
+    let mut requests = 0u64;
+    let mut queries = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    for report in rx {
+        requests += report.requests;
+        queries += report.queries;
+        errors += report.errors;
+        latencies.extend(report.latencies_us);
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let after = fetch_stats(&args.addr)?;
+
+    let verified_points = if args.verify {
+        verify(&args.addr, args.processors)?
+    } else {
+        0
+    };
+
+    if args.shutdown {
+        if let Ok((mut reader, mut writer)) = connect(&args.addr) {
+            let mut response = String::new();
+            let _ = round_trip(
+                &mut reader,
+                &mut writer,
+                r#"{"cmd":"shutdown"}"#,
+                &mut response,
+            );
+        }
+    }
+
+    let qps = if elapsed > 0.0 {
+        queries as f64 / elapsed
+    } else {
+        0.0
+    };
+    let quantile_points = swcc_obs::quantile::quantiles(&latencies, &[0.5, 0.9, 0.99, 1.0]);
+    let (p50, p90, p99, max) = match quantile_points {
+        Some(qs) => (
+            qs[0].unwrap_or(f64::NAN),
+            qs[1].unwrap_or(f64::NAN),
+            qs[2].unwrap_or(f64::NAN),
+            qs[3].unwrap_or(f64::NAN),
+        ),
+        None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+    };
+
+    let hits = server_stat(&after, &["stats", "cache", "hits"])
+        .saturating_sub(server_stat(&before, &["stats", "cache", "hits"]));
+    let misses = server_stat(&after, &["stats", "cache", "misses"])
+        .saturating_sub(server_stat(&before, &["stats", "cache", "misses"]));
+    let coalesced = server_stat(&after, &["stats", "cache", "coalesced"])
+        .saturating_sub(server_stat(&before, &["stats", "cache", "coalesced"]));
+    let solves = server_stat(&after, &["stats", "solves"])
+        .saturating_sub(server_stat(&before, &["stats", "solves"]));
+    let admissions = hits + misses + coalesced;
+    let hit_rate = if admissions > 0 {
+        hits as f64 / admissions as f64
+    } else {
+        0.0
+    };
+
+    println!(
+        "swcc-loadgen: {queries} queries in {elapsed:.3}s over {} connection(s) \
+         => {qps:.0} queries/s ({requests} requests, {errors} errors)",
+        args.connections
+    );
+    println!(
+        "  latency_us: p50={p50:.0} p90={p90:.0} p99={p99:.0} max={max:.0}; \
+         server cache over window: {hits} hits / {misses} misses / \
+         {coalesced} coalesced (hit rate {hit_rate:.4}), {solves} solver calls"
+    );
+    if args.verify {
+        println!("  verify: {verified_points} served floats bit-identical to direct library calls");
+    }
+
+    let mut gate_failures: Vec<String> = Vec::new();
+    if errors > 0 {
+        gate_failures.push(format!("{errors} request error(s)"));
+    }
+    if args.min_qps > 0.0 && qps < args.min_qps {
+        gate_failures.push(format!(
+            "throughput {qps:.0} queries/s below floor {:.0}",
+            args.min_qps
+        ));
+    }
+    if hits == 0 {
+        gate_failures.push("server cache hit counter did not move".to_string());
+    }
+    if args.min_hit_rate > 0.0 && hit_rate < args.min_hit_rate {
+        gate_failures.push(format!(
+            "hit rate {hit_rate:.4} below floor {:.4}",
+            args.min_hit_rate
+        ));
+    }
+
+    if let Some(path) = &args.out {
+        use std::fmt::Write as _;
+        let mut report = String::from("{\"schema\":\"swcc-loadgen/v1\"");
+        let _ = write!(
+            report,
+            ",\"addr\":\"{}\",\"connections\":{},\"duration_ms\":{},\
+             \"sweep_points\":{},\"compact\":{},\"requests\":{requests},\
+             \"queries\":{queries},\"errors\":{errors},\"elapsed_s\":{elapsed},\
+             \"queries_per_second\":{qps}",
+            args.addr,
+            args.connections,
+            args.duration.as_millis(),
+            args.sweep_points,
+            args.compact,
+        );
+        let quantile_json = |v: f64| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let _ = write!(
+            report,
+            ",\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            quantile_json(p50),
+            quantile_json(p90),
+            quantile_json(p99),
+            quantile_json(max),
+        );
+        let _ = write!(
+            report,
+            ",\"server\":{{\"hits\":{hits},\"misses\":{misses},\
+             \"coalesced\":{coalesced},\"solves\":{solves},\"hit_rate\":{}}}",
+            quantile_json(hit_rate),
+        );
+        let _ = write!(
+            report,
+            ",\"verified_points\":{verified_points},\"gates\":{{\"min_qps\":{},\
+             \"min_hit_rate\":{},\"passed\":{}}}}}",
+            quantile_json(args.min_qps),
+            quantile_json(args.min_hit_rate),
+            gate_failures.is_empty(),
+        );
+        std::fs::write(path, report).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  report written to {path}");
+    }
+
+    if !gate_failures.is_empty() {
+        return Err(format!("gate failure: {}", gate_failures.join("; ")));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("swcc-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

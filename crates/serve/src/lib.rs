@@ -1,0 +1,38 @@
+//! # swcc-serve — the batch coherence-query service
+//!
+//! A std-only TCP service that answers batches of coherence-model
+//! queries — `(scheme, workload, machine) → power / penalty /
+//! sensitivity` — through the `swcc-core` batch solver engine, fronted
+//! by the workspace's sharded single-flight solved-point cache
+//! ([`swcc_core::cache::SolvedPointCache`]).
+//!
+//! The wire protocol (newline-delimited JSON) is documented in
+//! [`protocol`]; the admission/solve pipeline and its bit-identity
+//! guarantees in [`server`]; the emitted metrics in [`metrics`]. Two
+//! binaries ship with the crate:
+//!
+//! * `swcc-serve` — the server.
+//! * `swcc-loadgen` — a closed-loop load harness that measures
+//!   throughput and latency quantiles against a running server, gates
+//!   on conservative floors, and can bit-verify served results against
+//!   direct library calls (`--verify`).
+//!
+//! Served results are **bit-identical** to direct library calls: bus
+//! answers match [`swcc_core::bus::analyze_bus`], network answers match
+//! the modern guarded-Newton solver path
+//! ([`swcc_core::batch::BatchPatelSolver`], equivalently
+//! `patel::solve_with` cold). The golden end-to-end tests and
+//! `swcc-loadgen --verify` both check this across the wire.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{parse_request, Batch, Machine, Query, QueryKind, Request, PROTOCOL_VERSION};
+pub use server::{
+    handle_request, run_batch, spawn, BusPoint, RunningServer, ServeConfig, ServeState,
+};

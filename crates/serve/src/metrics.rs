@@ -1,0 +1,124 @@
+//! Metric and trace-event names emitted by the query service.
+//!
+//! The serve layer reports traffic shape (requests, queries, batch
+//! widths), cache effectiveness (hits / misses / coalesced admissions),
+//! and solver amortization (grid calls vs lanes) through the
+//! `swcc-obs` dispatch functions. As everywhere else in the workspace,
+//! nothing is recorded unless a recorder is installed
+//! ([`swcc_obs::install`]) or a capture span is active; the binaries
+//! install a registry covering both these names and the model-layer
+//! names ([`swcc_core::metrics::register`]).
+
+use swcc_obs::RegistryBuilder;
+
+/// Request lines handled (control commands and batches alike).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Individual query points answered across all batch requests (each
+/// sweep point counts once).
+pub const SERVE_QUERIES: &str = "serve.queries";
+/// Requests answered with an error response (parse failures, invalid
+/// queries, solver errors, panics).
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Connections accepted by the listener pool.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+
+/// Query points answered from a ready cache entry.
+pub const SERVE_CACHE_HITS: &str = "serve.cache.hits";
+/// Query points that claimed a cold cache slot and solved it.
+pub const SERVE_CACHE_MISSES: &str = "serve.cache.misses";
+/// Query points that attached to another request's in-flight solve
+/// instead of solving (single-flight admission).
+pub const SERVE_CACHE_COALESCED: &str = "serve.cache.coalesced";
+
+/// Batch solver calls made on behalf of cache misses (one MVA grid per
+/// distinct processor count, one Patel batch for all network lanes).
+pub const SERVE_SOLVES: &str = "serve.solves";
+/// Lanes submitted across all serve-side solver calls.
+pub const SERVE_SOLVE_LANES: &str = "serve.solve_lanes";
+
+/// Distribution of query points per batch request.
+pub const SERVE_BATCH_WIDTH: &str = "serve.batch_width";
+/// Distribution of wall-clock microseconds per request.
+pub const SERVE_REQUEST_US: &str = "serve.request_us";
+/// Distribution of microseconds spent waiting on another request's
+/// in-flight solve (coalesced admissions only).
+pub const SERVE_FLIGHT_WAIT_US: &str = "serve.flight_wait_us";
+
+// --- Trace event names (see `swcc_obs::trace`) -------------------------
+
+/// Span around one batch request. Fields: `queries`, `points`.
+pub const EV_SERVE_REQUEST: &str = "serve.request";
+/// Span around one serve-side solver call. Fields: `machine`
+/// (`"bus"` / `"network"`), `lanes`.
+pub const EV_SERVE_SOLVE: &str = "serve.solve";
+
+/// Registers every serve-layer metric on the builder.
+#[must_use]
+pub fn register(builder: RegistryBuilder) -> RegistryBuilder {
+    builder
+        .counter(SERVE_REQUESTS)
+        .counter(SERVE_QUERIES)
+        .counter(SERVE_ERRORS)
+        .counter(SERVE_CONNECTIONS)
+        .counter(SERVE_CACHE_HITS)
+        .counter(SERVE_CACHE_MISSES)
+        .counter(SERVE_CACHE_COALESCED)
+        .counter(SERVE_SOLVES)
+        .counter(SERVE_SOLVE_LANES)
+        .histogram(
+            SERVE_BATCH_WIDTH,
+            &[
+                1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+            ],
+        )
+        .histogram(
+            SERVE_REQUEST_US,
+            &[
+                10.0,
+                100.0,
+                1_000.0,
+                5_000.0,
+                20_000.0,
+                100_000.0,
+                1_000_000.0,
+            ],
+        )
+        .histogram(
+            SERVE_FLIGHT_WAIT_US,
+            &[
+                10.0,
+                100.0,
+                1_000.0,
+                5_000.0,
+                20_000.0,
+                100_000.0,
+                1_000_000.0,
+            ],
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_name() {
+        let registry = register(RegistryBuilder::new()).build();
+        for name in [
+            SERVE_REQUESTS,
+            SERVE_QUERIES,
+            SERVE_ERRORS,
+            SERVE_CONNECTIONS,
+            SERVE_CACHE_HITS,
+            SERVE_CACHE_MISSES,
+            SERVE_CACHE_COALESCED,
+            SERVE_SOLVES,
+            SERVE_SOLVE_LANES,
+        ] {
+            assert_eq!(registry.counter_value(name), Some(0), "{name}");
+        }
+        for name in [SERVE_BATCH_WIDTH, SERVE_REQUEST_US, SERVE_FLIGHT_WAIT_US] {
+            assert!(registry.histogram(name).is_some(), "{name}");
+        }
+    }
+}

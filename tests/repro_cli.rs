@@ -888,6 +888,52 @@ fn history_subcommand_gates_drift_with_its_exit_code() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("history is empty"));
 }
 
+#[test]
+fn history_below_the_median_window_skips_with_insufficient_history() {
+    // One record: no comparable predecessor. The gate must skip with an
+    // explicit "insufficient history" message and a success exit, even
+    // though the record's values would scream drift against any real
+    // baseline.
+    let log = TempManifest::new("history-short");
+    let awful = synthetic_record(0.01, 999_999_999, 0.999);
+    history::append_record(std::path::Path::new(log.path()), &awful).unwrap();
+    let out = repro()
+        .args(["history", "--history-file", log.path()])
+        .output()
+        .expect("spawn repro history single");
+    assert!(
+        out.status.success(),
+        "a single-record history must not gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("insufficient history"), "{stdout}");
+    assert!(stdout.contains("drift: SKIPPED"), "{stdout}");
+
+    // Two records: exactly one comparable predecessor — still below the
+    // trailing-median window. Gating now would compare the newest run
+    // against a "median" of one sample, so this must also skip, even
+    // with the newest record wildly worse than its lone predecessor.
+    history::append_record(
+        std::path::Path::new(log.path()),
+        &synthetic_record(0.001, u64::MAX / 2, 1.0),
+    )
+    .unwrap();
+    let out = repro()
+        .args(["history", "--history-file", log.path()])
+        .output()
+        .expect("spawn repro history pair");
+    assert!(
+        out.status.success(),
+        "one predecessor is below the median window: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("insufficient history"), "{stdout}");
+    assert!(stdout.contains("drift: SKIPPED"), "{stdout}");
+    assert!(!stdout.contains("drift: FAILED"), "{stdout}");
+}
+
 // --- Dashboard: repro report --html --------------------------------------
 
 #[test]

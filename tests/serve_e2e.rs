@@ -1,0 +1,364 @@
+//! End-to-end tests for `swcc-serve`: a real listener, real sockets,
+//! and bit-exact comparison of served results against direct library
+//! calls.
+//!
+//! The golden equivalence claim is the serve crate's core contract:
+//! a response float, parsed back from its JSON text, must equal the
+//! direct library result **bitwise** — cold (cache miss), warm (cache
+//! hit), and coalesced (attached to another request's in-flight solve)
+//! paths alike. Bus results are compared against
+//! [`swcc_core::bus::analyze_bus`]; network results against the modern
+//! batch solver path ([`swcc_core::batch::BatchPatelSolver`]), which is
+//! the solver the server uses (not the legacy 200-step bisection).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serde::Value;
+use swcc_core::batch::{BatchPatelSolver, Stages};
+use swcc_core::bus::analyze_bus;
+use swcc_core::demand::scheme_demand;
+use swcc_core::network::NetworkPerformance;
+use swcc_core::scheme::Scheme;
+use swcc_core::sensitivity::sensitivity_table_at;
+use swcc_core::system::{BusSystemModel, NetworkSystemModel};
+use swcc_core::workload::{Level, ParamId, WorkloadParams};
+use swcc_serve::{spawn, RunningServer, ServeConfig};
+
+fn start(workers: usize) -> RunningServer {
+    spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        read_timeout: Duration::from_secs(5),
+        solve_timeout: Duration::from_secs(10),
+    })
+    .expect("bind a loopback listener")
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    response: String,
+}
+
+impl Client {
+    fn connect(server: &RunningServer) -> Client {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_nodelay(true).ok();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: BufWriter::new(stream),
+            response: String::new(),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Value {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write");
+        self.writer.flush().expect("flush");
+        self.response.clear();
+        let n = self.reader.read_line(&mut self.response).expect("read");
+        assert!(n > 0, "server closed the connection");
+        serde_json::from_str(self.response.trim()).expect("response parses as JSON")
+    }
+}
+
+fn ok(value: &Value) -> bool {
+    value.get_field("ok").and_then(Value::as_bool) == Some(true)
+}
+
+fn first_point(value: &Value) -> &Value {
+    value
+        .get_field("results")
+        .and_then(|r| r.get_index(0))
+        .and_then(|q| q.get_field("points"))
+        .and_then(|p| p.get_index(0))
+        .expect("response has results[0].points[0]")
+}
+
+fn f(value: &Value, name: &str) -> f64 {
+    value
+        .get_field(name)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field {name}"))
+}
+
+fn cached(value: &Value) -> &str {
+    value
+        .get_field("cached")
+        .and_then(Value::as_str)
+        .expect("point has a cached tag")
+}
+
+#[test]
+fn ping_reports_the_protocol_version() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+    let pong = client.send(r#"{"cmd":"ping"}"#);
+    assert!(ok(&pong));
+    assert_eq!(
+        pong.get_field("version").and_then(Value::as_str),
+        Some(swcc_serve::PROTOCOL_VERSION)
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn golden_bus_results_are_bit_identical_cold_and_cached() {
+    let server = start(2);
+    let mut client = Client::connect(&server);
+    let workload = WorkloadParams::at_level(Level::Middle);
+    let system = BusSystemModel::new();
+    for scheme in Scheme::ALL {
+        for processors in [1u32, 16, 64] {
+            let line = format!(
+                "{{\"queries\":[{{\"scheme\":\"{scheme}\",\"machine\":{{\
+                 \"interconnect\":\"bus\",\"processors\":{processors}}}}}]}}"
+            );
+            let direct = analyze_bus(scheme, &workload, &system, processors).unwrap();
+            let cold = client.send(&line);
+            assert!(ok(&cold), "{}", client.response);
+            let cold_point = first_point(&cold);
+            // The first request for this queue must actually solve it…
+            assert_eq!(cached(cold_point), "miss", "{scheme} x{processors}");
+            let warm = client.send(&line);
+            let warm_point = first_point(&warm);
+            // …and the second must come from the cache.
+            assert_eq!(cached(warm_point), "hit", "{scheme} x{processors}");
+            for point in [cold_point, warm_point] {
+                for (name, want) in [
+                    ("power", direct.power()),
+                    ("utilization", direct.utilization()),
+                    ("cpi", direct.cycles_per_instruction()),
+                    ("waiting", direct.waiting()),
+                    ("bus_utilization", direct.bus_utilization()),
+                ] {
+                    assert_eq!(
+                        f(point, name).to_bits(),
+                        want.to_bits(),
+                        "{scheme} x{processors} {name}"
+                    );
+                }
+            }
+        }
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn golden_bus_sweep_matches_pointwise_library_calls() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+    let system = BusSystemModel::new();
+    let base = WorkloadParams::at_level(Level::Middle);
+    let points = 9;
+    let line = format!(
+        "{{\"compact\":true,\"queries\":[{{\"kind\":\"penalty\",\"scheme\":\"software-flush\",\
+         \"machine\":{{\"interconnect\":\"bus\",\"processors\":32}},\
+         \"sweep\":{{\"param\":\"apl\",\"from\":1.0,\"to\":25.0,\"points\":{points}}}}}]}}"
+    );
+    let response = client.send(&line);
+    assert!(ok(&response), "{}", client.response);
+    let values = response
+        .get_field("results")
+        .and_then(|r| r.get_index(0))
+        .and_then(|q| q.get_field("values"))
+        .and_then(Value::as_array)
+        .expect("compact response has values");
+    assert_eq!(values.len(), points);
+    for (i, served) in values.iter().enumerate() {
+        let apl = 1.0 + (25.0 - 1.0) * i as f64 / (points - 1) as f64;
+        let w = base.with_param(ParamId::Apl, apl).unwrap();
+        let direct = analyze_bus(Scheme::SoftwareFlush, &w, &system, 32).unwrap();
+        assert_eq!(
+            served.as_f64().unwrap().to_bits(),
+            direct.waiting().to_bits(),
+            "sweep point {i} (apl = {apl})"
+        );
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn golden_network_results_match_the_batch_solver_path() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+    let workload = WorkloadParams::at_level(Level::Middle);
+    for scheme in [Scheme::Base, Scheme::NoCache, Scheme::SoftwareFlush] {
+        for stages in [2u32, 6, 10] {
+            let line = format!(
+                "{{\"queries\":[{{\"scheme\":\"{scheme}\",\"machine\":{{\
+                 \"interconnect\":\"network\",\"stages\":{stages}}}}}]}}"
+            );
+            let demand =
+                scheme_demand(scheme, &workload, &NetworkSystemModel::new(stages)).unwrap();
+            let solved = BatchPatelSolver::new()
+                .solve_grid(
+                    &[demand.transaction_rate()],
+                    &[demand.transaction_size()],
+                    &Stages::Uniform(stages),
+                    None,
+                )
+                .unwrap();
+            let direct = NetworkPerformance::from_operating_point(
+                scheme,
+                stages,
+                demand,
+                solved.points()[0],
+            );
+            let response = client.send(&line);
+            assert!(ok(&response), "{}", client.response);
+            let point = first_point(&response);
+            for (name, want) in [
+                ("power", direct.power()),
+                ("utilization", direct.utilization()),
+                ("think_fraction", direct.operating_point().think_fraction()),
+            ] {
+                assert_eq!(
+                    f(point, name).to_bits(),
+                    want.to_bits(),
+                    "{scheme} {stages} stages {name}"
+                );
+            }
+        }
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn sensitivity_ranking_matches_the_library() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+    let line = r#"{"queries":[{"kind":"sensitivity","scheme":"software-flush","machine":{"interconnect":"bus","processors":16}}]}"#;
+    let response = client.send(line);
+    assert!(ok(&response), "{}", client.response);
+    let ranking = response
+        .get_field("results")
+        .and_then(|r| r.get_index(0))
+        .and_then(|q| q.get_field("ranking"))
+        .and_then(Value::as_array)
+        .expect("sensitivity response has a ranking");
+    let table = sensitivity_table_at(16, &WorkloadParams::at_level(Level::Middle)).unwrap();
+    let direct = table.ranking(Scheme::SoftwareFlush);
+    assert_eq!(ranking.len(), direct.len());
+    for (served, (param, percent)) in ranking.iter().zip(&direct) {
+        assert_eq!(
+            served.get_field("param").and_then(Value::as_str),
+            Some(param.name())
+        );
+        assert_eq!(f(served, "percent").to_bits(), percent.to_bits(), "{param}");
+    }
+    // The paper's headline result survives the wire: apl dominates.
+    assert_eq!(direct[0].0, ParamId::Apl);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn racing_identical_cold_queries_solve_exactly_once() {
+    let server = start(8);
+    let line = r#"{"queries":[{"scheme":"dragon","machine":{"interconnect":"bus","processors":48},"workload":{"shd":0.123}}]}"#;
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let mut client = Client::connect(&server);
+        let line = line.to_string();
+        handles.push(std::thread::spawn(move || {
+            let response = client.send(&line);
+            assert!(ok(&response), "{}", client.response);
+            let point = first_point(&response);
+            (f(point, "power").to_bits(), cached(point).to_string())
+        }));
+    }
+    let results: Vec<(u64, String)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    // Every racer serves the same bits…
+    let bits = results[0].0;
+    assert!(results.iter().all(|(b, _)| *b == bits));
+    // …exactly one of them solved it (the rest hit or coalesced).
+    let misses = results.iter().filter(|(_, tag)| tag == "miss").count();
+    assert_eq!(misses, 1, "tags: {results:?}");
+    let state = server.state();
+    assert!(
+        state.stats_response().contains("\"solve_lanes\":1"),
+        "{}",
+        state.stats_response()
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn errors_name_the_offending_query_and_keep_the_connection_alive() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+
+    let bad_scheme = client.send(
+        r#"{"id":41,"queries":[{"scheme":"mesi","machine":{"interconnect":"bus","processors":4}}]}"#,
+    );
+    assert!(!ok(&bad_scheme));
+    let message = bad_scheme
+        .get_field("error")
+        .and_then(Value::as_str)
+        .unwrap();
+    assert!(message.contains("query 0"), "{message}");
+    assert_eq!(bad_scheme.get_field("id").and_then(Value::as_u64), Some(41));
+
+    let bad_json = client.send("this is not json");
+    assert!(!ok(&bad_json));
+
+    let dragon_net = client.send(
+        r#"{"queries":[{"scheme":"dragon","machine":{"interconnect":"network","stages":4}}]}"#,
+    );
+    assert!(!ok(&dragon_net));
+
+    // The connection survives all three errors.
+    let pong = client.send(r#"{"cmd":"ping"}"#);
+    assert!(ok(&pong));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_command_stops_the_server() {
+    let server = start(2);
+    let mut client = Client::connect(&server);
+    let response = client.send(r#"{"cmd":"shutdown"}"#);
+    assert!(ok(&response));
+    assert!(server.state().shutting_down());
+    // join() returning proves the whole pool drained.
+    server.join();
+}
+
+#[test]
+fn request_accounting_shows_up_in_stats() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+    // Dragon's demand varies point-to-point under a shd sweep, so all
+    // 16 points are distinct cache keys.
+    let line = r#"{"compact":true,"queries":[{"scheme":"dragon","machine":{"interconnect":"bus","processors":8},"sweep":{"param":"shd","from":0.01,"to":0.2,"points":16}}]}"#;
+    let first = client.send(line);
+    assert!(ok(&first));
+    let second = client.send(line);
+    assert!(ok(&second));
+    let second_cache = second.get_field("cache").unwrap();
+    assert_eq!(
+        second_cache.get_field("hits").and_then(Value::as_u64),
+        Some(16),
+        "warm request is all hits"
+    );
+    let stats = client.send(r#"{"cmd":"stats"}"#);
+    let inner = stats.get_field("stats").unwrap();
+    assert_eq!(inner.get_field("queries").and_then(Value::as_u64), Some(32));
+    assert_eq!(inner.get_field("solves").and_then(Value::as_u64), Some(1));
+    let cache = inner.get_field("cache").unwrap();
+    assert_eq!(cache.get_field("entries").and_then(Value::as_u64), Some(16));
+    server.shutdown();
+    server.join();
+}
