@@ -322,7 +322,7 @@ impl BatchPatelSolver {
                 demand[i] = rates[i] * sizes[i];
             }
         }
-        let zero_demand_lanes = active.demand.iter().filter(|d| **d == 0.0).count();
+        let zero_demand_lanes = active.demand.iter().filter(|d| **d == 0.0).count(); // swcc-lint: allow(float-eq) — counting idle lanes: -0.0 demand is idle too
         if hints.is_none() && zero_demand_lanes == 0 {
             // Fast seed: every lane enters the active set with the
             // scalar solver's cold light-load start, in straight
@@ -351,6 +351,7 @@ impl BatchPatelSolver {
             for i in 0..n {
                 let stage_count = stages.get(i);
                 let demand = rates[i] * sizes[i];
+                // swcc-lint: allow(float-eq) — a zero-demand lane never enters the network; -0.0 is zero demand
                 if demand == 0.0 {
                     points[i] =
                         OperatingPoint::from_parts(stage_count, rates[i], sizes[i], 1.0, 0.0);
@@ -648,6 +649,7 @@ fn validate_mva_lanes(services: &[f64], thinks: &[f64]) -> Result<()> {
     if services
         .iter()
         .zip(thinks)
+        // swcc-lint: allow(float-eq) — degenerate all-zero queue guard; -0.0 qualifies
         .any(|(s, z)| *s == 0.0 && *z == 0.0)
     {
         return Err(ModelError::InvalidConfig {
@@ -725,6 +727,7 @@ pub fn machine_repairman_grid(
     let mut think: Vec<f64> = Vec::with_capacity(n);
     let mut out = vec![MvaSolution::from_parts(0, 0.0, 0.0, 0.0, 0.0, 0.0); n];
     for i in 0..n {
+        // swcc-lint: allow(float-eq) — zero service short-circuits the MVA recursion; -0.0 is the same no-op queue
         if services[i] == 0.0 {
             out[i] = MvaSolution::from_parts(
                 customers,
@@ -820,6 +823,7 @@ pub fn machine_repairman_sweep_grid(
     for k in 1..=max_customers {
         let kf = f64::from(k);
         for i in 0..n {
+            // swcc-lint: allow(float-eq) — zero service short-circuits the MVA recursion; -0.0 is the same no-op queue
             if services[i] == 0.0 {
                 curves[i].push(MvaSolution::from_parts(
                     k,

@@ -140,6 +140,7 @@ pub fn analyze_network_packet(
             transactions += freq;
         }
     }
+    // swcc-lint: allow(float-eq) — no-traffic guard; -0.0 transactions or demand still mean no traffic
     if transactions == 0.0 || demand.interconnect() == 0.0 {
         // No network traffic at all: the processor runs at 1/c.
         return Ok(PacketPerformance {

@@ -106,6 +106,7 @@ impl OperatingPoint {
     /// this is instructions per cycle — directly comparable to the bus
     /// model's `U = 1/(c+w)`.
     pub fn throughput(&self) -> f64 {
+        // swcc-lint: allow(float-eq) — zero packet size means no network demand; -0.0 included by design
         if self.size == 0.0 {
             // No network demand: the processor is limited only by think
             // time; one transaction per think period.
@@ -140,6 +141,7 @@ pub fn solve(rate: f64, size: f64, stages: u32) -> Result<OperatingPoint> {
         });
     }
     let demand = rate * size;
+    // swcc-lint: allow(float-eq) — zero demand skips the queueing model; -0.0 is zero demand
     if demand == 0.0 {
         // The processor never uses the network: it thinks all the time.
         return Ok(OperatingPoint {
@@ -295,6 +297,7 @@ fn solve_inner(
         });
     }
     let demand = rate * size;
+    // swcc-lint: allow(float-eq) — zero demand skips the queueing model; -0.0 is zero demand
     if demand == 0.0 {
         return Ok((
             OperatingPoint {

@@ -155,6 +155,7 @@ pub fn machine_repairman(customers: u32, service: f64, think: f64) -> Result<Mva
             reason: "must be finite and non-negative",
         });
     }
+    // swcc-lint: allow(float-eq) — service==think==0 is the rejected degenerate queue; -0.0 qualifies
     if service == 0.0 && think == 0.0 {
         return Err(ModelError::InvalidConfig {
             name: "service+think",
@@ -164,6 +165,7 @@ pub fn machine_repairman(customers: u32, service: f64, think: f64) -> Result<Mva
     if swcc_obs::enabled() {
         swcc_obs::counter_add(metrics::MVA_SOLVES, 1);
     }
+    // swcc-lint: allow(float-eq) — zero service is the no-queue fast path; -0.0 is the same idle server
     if service == 0.0 {
         return Ok(MvaSolution {
             customers,
@@ -291,6 +293,7 @@ pub fn machine_repairman_sweep(max_customers: u32, service: f64, think: f64) -> 
             reason: "must be finite and non-negative",
         });
     }
+    // swcc-lint: allow(float-eq) — service==think==0 is the rejected degenerate queue; -0.0 qualifies
     if service == 0.0 && think == 0.0 {
         return Err(ModelError::InvalidConfig {
             name: "service+think",
@@ -314,6 +317,7 @@ pub fn machine_repairman_sweep(max_customers: u32, service: f64, think: f64) -> 
         swcc_obs::span(metrics::EV_MVA_SWEEP, &[])
     };
     let mut points = Vec::with_capacity(max_customers as usize);
+    // swcc-lint: allow(float-eq) — zero service is the no-queue fast path; -0.0 is the same idle server
     if service == 0.0 {
         for k in 1..=max_customers {
             points.push(MvaSolution {
@@ -392,6 +396,7 @@ impl AsymptoticBounds {
     /// Upper bound on system throughput with `n` customers.
     pub fn throughput_bound(&self, customers: u32) -> f64 {
         let light = f64::from(customers) / (self.think + self.service);
+        // swcc-lint: allow(float-eq) — zero service never saturates; -0.0 is the same idle server
         if self.service == 0.0 {
             light
         } else {
@@ -403,6 +408,7 @@ impl AsymptoticBounds {
     /// (`(Z + b)/b`), or `None` if the server is never the bottleneck
     /// (`b = 0`).
     pub fn saturation_population(&self) -> Option<f64> {
+        // swcc-lint: allow(float-eq) — zero service never saturates; -0.0 is the same idle server
         if self.service == 0.0 {
             None
         } else {

@@ -113,6 +113,7 @@ impl OperationMix {
             freq.is_finite() && freq >= 0.0,
             "operation frequency must be finite and non-negative, got {freq} for {op}"
         );
+        // swcc-lint: allow(float-eq) — zero-frequency ops are skipped; -0.0 frequency is zero (finiteness checked above)
         if freq == 0.0 {
             return;
         }

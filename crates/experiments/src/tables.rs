@@ -12,6 +12,7 @@ use swcc_core::workload::TABLE7_RANGES;
 use crate::artifact::Table;
 
 fn fmt_f(v: f64) -> String {
+    // swcc-lint: allow(float-eq) — the table prints -0.0 and 0.0 both as plain 0 on purpose
     if v == 0.0 {
         "0".to_string()
     } else if v.abs() >= 0.01 {

@@ -1,0 +1,411 @@
+//! File walking, test-code exclusion, suppression application, and
+//! report assembly.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token};
+use crate::rules::{
+    check_file, collect_metric_consts, is_known_rule, metric_doc_drift, FileCtx, Finding,
+    MetricConst, METRIC_REGISTRY_FILES,
+};
+use crate::suppress::{self, Suppression};
+
+/// The observability doc the drift rule cross-checks (relative to the
+/// linted root).
+pub const OBSERVABILITY_DOC: &str = "OBSERVABILITY.md";
+
+/// Directory names never descended into. `tests`, `benches`, and
+/// `examples` hold example-based code where panicking asserts and
+/// float equality are the point; `fixtures` holds this crate's
+/// deliberately bad inputs.
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", ".git", "tests", "benches", "examples", "fixtures",
+];
+
+/// A finding that an inline `allow` silenced, with its stated reason.
+#[derive(Debug, Clone)]
+pub struct SuppressedFinding {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The reason from the suppression comment.
+    pub reason: String,
+}
+
+/// The result of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings (including `bad-suppression` /
+    /// `stale-suppression` meta findings). Non-empty means failure.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by well-formed suppressions.
+    pub suppressed: Vec<SuppressedFinding>,
+    /// Rust files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run found nothing to report.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints everything under `root` (a workspace checkout: `crates/**.rs`
+/// plus the observability doc).
+///
+/// A `root` without a `crates/` directory is an error, not an empty
+/// clean report — a mistyped `--root` in CI must fail loudly, never
+/// pass green having scanned nothing.
+pub fn lint_root(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} is not a workspace root (no crates/ directory)",
+            root.display()
+        ));
+    }
+    collect_rust_files(&crates_dir, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    let mut suppressions: Vec<(String, Suppression)> = Vec::new();
+    let mut raw_findings: Vec<Finding> = Vec::new();
+    let mut consts: Vec<MetricConst> = Vec::new();
+
+    for path in &files {
+        let rel = rel_path(root, path);
+        let source =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let lexed = lex(&source);
+        let excluded = test_excluded_tokens(&lexed.tokens);
+        let excluded_lines = excluded_line_set(&lexed.tokens, &excluded);
+        let ctx = FileCtx {
+            rel_path: &rel,
+            tokens: &lexed.tokens,
+            excluded: &excluded,
+            comments: &lexed.comments,
+        };
+        raw_findings.extend(check_file(&ctx));
+        if METRIC_REGISTRY_FILES.iter().any(|f| rel.ends_with(f)) {
+            consts.extend(collect_metric_consts(&ctx));
+        }
+        for comment in &lexed.comments {
+            if excluded_lines.contains(&comment.line) {
+                continue;
+            }
+            if let Some(s) = suppress::parse(comment) {
+                suppressions.push((rel.clone(), s));
+            }
+        }
+        report.files_scanned += 1;
+    }
+
+    let doc_path = root.join(OBSERVABILITY_DOC);
+    if doc_path.is_file() {
+        let doc = fs::read_to_string(&doc_path)
+            .map_err(|e| format!("cannot read {}: {e}", doc_path.display()))?;
+        raw_findings.extend(metric_doc_drift(&consts, OBSERVABILITY_DOC, &doc));
+    }
+
+    apply_suppressions(raw_findings, suppressions, &mut report);
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.suppressed.sort_by(|a, b| {
+        (&a.finding.file, a.finding.line, a.finding.rule).cmp(&(
+            &b.finding.file,
+            b.finding.line,
+            b.finding.rule,
+        ))
+    });
+    Ok(report)
+}
+
+fn apply_suppressions(
+    raw: Vec<Finding>,
+    suppressions: Vec<(String, Suppression)>,
+    report: &mut Report,
+) {
+    // Only well-formed suppressions (known rule, nonempty reason)
+    // silence anything; malformed ones surface both the meta finding
+    // and the original.
+    let mut used = vec![false; suppressions.len()];
+    for f in raw {
+        let hit = suppressions.iter().enumerate().find(|(_, (file, s))| {
+            file == &f.file
+                && s.rule == f.rule
+                && !s.reason.is_empty()
+                && is_known_rule(&s.rule)
+                && s.target_line() == f.line
+        });
+        match hit {
+            Some((idx, (_, s))) => {
+                used[idx] = true;
+                report.suppressed.push(SuppressedFinding {
+                    reason: s.reason.clone(),
+                    finding: f,
+                });
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for (idx, (file, s)) in suppressions.iter().enumerate() {
+        if s.rule.is_empty() {
+            report.findings.push(Finding {
+                rule: "bad-suppression",
+                file: file.clone(),
+                line: s.line,
+                message: "malformed swcc-lint comment; expected `swcc-lint: allow(<rule>) — \
+                          <reason>`"
+                    .to_string(),
+            });
+        } else if !is_known_rule(&s.rule) {
+            report.findings.push(Finding {
+                rule: "bad-suppression",
+                file: file.clone(),
+                line: s.line,
+                message: format!("unknown rule `{}` in allow(...)", s.rule),
+            });
+        } else if s.reason.is_empty() {
+            report.findings.push(Finding {
+                rule: "bad-suppression",
+                file: file.clone(),
+                line: s.line,
+                message: format!(
+                    "suppression of `{}` carries no reason; add one after the closing \
+                     parenthesis",
+                    s.rule
+                ),
+            });
+        } else if !used[idx] {
+            report.findings.push(Finding {
+                rule: "stale-suppression",
+                file: file.clone(),
+                line: s.line,
+                message: format!(
+                    "allow(`{}`) matched no finding on line {}; remove the stale comment",
+                    s.rule,
+                    s.target_line()
+                ),
+            });
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Marks tokens belonging to `#[cfg(test)]` / `#[test]` items, which
+/// every rule skips: test code panics and compares floats by design.
+fn test_excluded_tokens(tokens: &[Token]) -> Vec<bool> {
+    let mut excluded = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let (content_idents, attr_end) = attribute_content(tokens, i + 1);
+        if !is_test_attribute(&content_idents) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = attr_end + 1;
+        while tokens.get(j).is_some_and(|t| t.is_punct("#"))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+        {
+            let (_, end) = attribute_content(tokens, j + 1);
+            j = end + 1;
+        }
+        // The item body: everything to the matching `}` of the first
+        // top-level brace, or to a top-level `;` for braceless items.
+        let mut depth = 0i64;
+        let end = loop {
+            let Some(t) = tokens.get(j) else {
+                break tokens.len().saturating_sub(1);
+            };
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" => {
+                    if depth == 0 {
+                        break matching_brace(tokens, j);
+                    }
+                    depth += 1;
+                }
+                "}" => depth -= 1,
+                ";" if depth == 0 => break j,
+                _ => {}
+            }
+            j += 1;
+        };
+        for flag in excluded
+            .iter_mut()
+            .take((end + 1).min(tokens.len()))
+            .skip(attr_start)
+        {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    excluded
+}
+
+/// Given the index of the `[` opening an attribute, returns the
+/// identifier texts inside it and the index of the closing `]`.
+fn attribute_content(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0i64;
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, j);
+                }
+            }
+            _ => {
+                if t.kind == crate::lexer::TokenKind::Ident {
+                    idents.push(t.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    (idents, tokens.len().saturating_sub(1))
+}
+
+/// `#[test]` or a `cfg(...)` mentioning `test` outside `not(...)`.
+fn is_test_attribute(idents: &[String]) -> bool {
+    match idents.first().map(String::as_str) {
+        Some("test") => idents.len() == 1,
+        Some("cfg") => {
+            idents.iter().skip(1).any(|s| s == "test") && !idents.contains(&"not".to_string())
+        }
+        _ => false,
+    }
+}
+
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// The set of source lines covered by excluded tokens (suppression
+/// comments on those lines are ignored rather than reported stale).
+fn excluded_line_set(tokens: &[Token], excluded: &[bool]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    let mut run_start: Option<u32> = None;
+    for (t, flag) in tokens.iter().zip(excluded) {
+        if *flag {
+            run_start.get_or_insert(t.line);
+            for l in run_start.unwrap_or(t.line)..=t.line {
+                lines.insert(l);
+            }
+        } else {
+            run_start = None;
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_modules_are_excluded() {
+        let src = "fn live() { a == 0.0; }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { b == 0.0; }\n}\n\
+                   fn also_live() { c == 0.0; }\n";
+        let lexed = lex(src);
+        let excluded = test_excluded_tokens(&lexed.tokens);
+        let live: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .zip(&excluded)
+            .filter(|(t, e)| !**e && t.kind == crate::lexer::TokenKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(live.contains(&"live") && live.contains(&"also_live"));
+        assert!(!live.contains(&"tests") && !live.contains(&"b"));
+    }
+
+    #[test]
+    fn test_fns_and_stacked_attributes_are_excluded() {
+        let src = "#[test]\n#[ignore]\nfn t() { x[0]; }\nfn live() {}\n";
+        let lexed = lex(src);
+        let excluded = test_excluded_tokens(&lexed.tokens);
+        let live: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .zip(&excluded)
+            .filter(|(_, e)| !**e)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert_eq!(live, vec!["fn", "live", "(", ")", "{", "}"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_excluded() {
+        let src = "#[cfg(not(test))]\nfn live() {}\n";
+        let lexed = lex(src);
+        let excluded = test_excluded_tokens(&lexed.tokens);
+        assert!(excluded.iter().all(|e| !e));
+    }
+
+    #[test]
+    fn derive_attributes_do_not_swallow_items() {
+        let src = "#[derive(Debug, Clone)]\nstruct S { x: u32 }\nfn live() {}\n";
+        let lexed = lex(src);
+        let excluded = test_excluded_tokens(&lexed.tokens);
+        assert!(excluded.iter().all(|e| !e));
+    }
+}

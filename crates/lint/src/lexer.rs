@@ -1,0 +1,517 @@
+//! A lightweight Rust lexer.
+//!
+//! Produces a flat token stream (identifiers, literals, single-char
+//! punctuation) plus a separate comment list, each carrying a 1-based
+//! line number. This is *not* a full Rust grammar: the rules in this
+//! crate match token patterns, so the lexer only has to get token
+//! *boundaries* right — strings (including raw and byte forms), char
+//! literals vs lifetimes, nested block comments, and numeric literals
+//! with float detection. Anything it cannot classify becomes a
+//! single-character [`TokenKind::Punct`] token, which is always safe
+//! for pattern matching.
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xff_u32`).
+    Int,
+    /// Floating-point literal (`0.0`, `1e-3`, `2f64`).
+    Float,
+    /// String literal of any flavor (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`:`, `=`, `[`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True when this is a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// The contents of a string literal with quotes/prefix stripped
+    /// (`None` for non-string tokens).
+    pub fn str_value(&self) -> Option<&str> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let inner = self.text.trim_start_matches(['b', 'r', '#']);
+        let inner = inner.strip_prefix('"')?;
+        let inner = inner.trim_end_matches('#');
+        inner.strip_suffix('"')
+    }
+}
+
+/// One comment, line (`//`) or block (`/* */`), doc or plain.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after the `//` / between `/*` and `*/` (so a doc comment's
+    /// text starts with `/` or `!`).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when no code token precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// A lexed source file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The code tokens, in order.
+    pub tokens: Vec<Token>,
+    /// The comments, in order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    code_on_line: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.code_on_line = false;
+            }
+        }
+        c
+    }
+
+    fn push_token(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text: self.chars[start..self.pos].iter().collect(),
+            line,
+        });
+        self.code_on_line = true;
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.code_on_line;
+        self.pos += 2; // the two slashes
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.chars[start..self.pos].iter().collect(),
+            line,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.code_on_line;
+        self.bump();
+        self.bump(); // the `/*`
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                end = self.pos;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.chars[start..end.max(start)].iter().collect(),
+            line,
+            own_line,
+        });
+    }
+
+    /// Consumes a quoted run starting at the opening `"`, honoring
+    /// backslash escapes.
+    fn quoted(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-quoted run starting at the first `#` or `"`
+    /// after the `r` prefix.
+    fn raw_quoted(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        // `'\...'` is always a char literal; `'x'` (any single char
+        // then a quote) is a char literal; otherwise a lifetime.
+        if self.peek(1) == Some('\\') {
+            self.quoted_char();
+            self.push_token(TokenKind::Char, start, line);
+        } else if self.peek(2) == Some('\'') {
+            self.bump();
+            self.bump();
+            self.bump();
+            self.push_token(TokenKind::Char, start, line);
+        } else {
+            self.bump(); // the quote
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.push_token(TokenKind::Lifetime, start, line);
+        }
+    }
+
+    fn quoted_char(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+            if self.peek(0) == Some('.') {
+                match self.peek(1) {
+                    // `1..n` is a range, `1.method()` a call.
+                    Some('.') => {}
+                    Some(c) if is_ident_start(c) => {}
+                    _ => {
+                        is_float = true;
+                        self.bump();
+                        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                            self.bump();
+                        }
+                    }
+                }
+            }
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let signed = matches!(self.peek(1), Some('+' | '-'));
+                let digit_at = if signed { 2 } else { 1 };
+                if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    self.bump();
+                    if signed {
+                        self.bump();
+                    }
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            is_float = true;
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push_token(kind, start, line);
+    }
+
+    fn ident_or_prefixed(&mut self, start: usize, line: u32) {
+        // `r"`, `r#"`, `b"`, `br"`, `br#"`, `b'` are literal prefixes,
+        // `r#ident` a raw identifier.
+        let c = self.peek(0);
+        if c == Some('r') {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump();
+                    self.raw_quoted();
+                    self.push_token(TokenKind::Str, start, line);
+                    return;
+                }
+                Some('#') if matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.raw_quoted();
+                    self.push_token(TokenKind::Str, start, line);
+                    return;
+                }
+                Some('#') if self.peek(2).is_some_and(is_ident_start) => {
+                    self.bump();
+                    self.bump();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push_token(TokenKind::Ident, start, line);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        if c == Some('b') {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump();
+                    self.quoted();
+                    self.push_token(TokenKind::Str, start, line);
+                    return;
+                }
+                Some('\'') => {
+                    self.bump();
+                    self.quoted_char();
+                    self.push_token(TokenKind::Char, start, line);
+                    return;
+                }
+                Some('r') if matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_quoted();
+                    self.push_token(TokenKind::Str, start, line);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.push_token(TokenKind::Ident, start, line);
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.quoted();
+                    self.push_token(TokenKind::Str, start, line);
+                }
+                '\'' => self.char_or_lifetime(start, line),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c if c.is_ascii_digit() => self.number(start, line),
+                c if is_ident_start(c) => self.ident_or_prefixed(start, line),
+                _ => {
+                    self.bump();
+                    self.push_token(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes a source file into tokens and comments.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        code_on_line: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(source: &str) -> Vec<String> {
+        lex(source).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_punct_split() {
+        assert_eq!(
+            texts("std::sync::Mutex"),
+            vec!["std", ":", ":", "sync", ":", ":", "Mutex"]
+        );
+    }
+
+    #[test]
+    fn float_literals_are_classified() {
+        let lexed = lex("a == 0.0; b == 1e-3; c == 2f64; d == 7; e == 0x1f;");
+        let kinds: Vec<(String, TokenKind)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Float | TokenKind::Int))
+            .map(|t| (t.text.clone(), t.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("0.0".to_string(), TokenKind::Float),
+                ("1e-3".to_string(), TokenKind::Float),
+                ("2f64".to_string(), TokenKind::Float),
+                ("7".to_string(), TokenKind::Int),
+                ("0x1f".to_string(), TokenKind::Int),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_tuple_access_are_not_floats() {
+        let lexed = lex("&xs[0..10]; t.0 == t.1; 1.max(2)");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Float));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r##"let s = r#"a == 0.0 [0] "quoted""#; let t = "x\" == 0.0";"##);
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Float));
+        let strings: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strings.len(), 2);
+        assert_eq!(
+            lexed.tokens[3].str_value(),
+            Some(r#"a == 0.0 [0] "quoted""#)
+        );
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let lexed = lex(r"fn f<'a>(x: &'a str) -> char { '\n' }");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn comments_capture_line_and_position() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2; /* block */\n");
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].text, " trailing");
+        assert!(!lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[2].text, " block ");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* outer /* inner */ still */ let x = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 5);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_strings() {
+        let lexed = lex("let a = \"one\ntwo\";\nlet b = 3;");
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

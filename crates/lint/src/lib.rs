@@ -1,0 +1,33 @@
+//! `swcc-lint` — project-invariant static analysis for this workspace.
+//!
+//! The test suite samples behavior; this crate gates the invariants
+//! those samples can only spot-check, by construction, over every
+//! non-test line in `crates/`:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `no-raw-sync` | locking never poisons: `std::sync::{Mutex, Condvar, RwLock}` only inside `swcc_obs::sync` |
+//! | `no-panic-in-request-path` | `swcc-serve` answers an error, never dies: no `unwrap`/`expect`/panicking macros/indexing in `server.rs`/`protocol.rs` |
+//! | `float-eq` | no `==`/`!=` against float literals (the `-0.0` quantile class); bit-compare or suppress with the story |
+//! | `determinism` | numeric kernels (batch, queue, MVA/Patel) use no time or randomness — the scalar↔batch bit-equality gates assume pure evaluation |
+//! | `safety-comment` | every `unsafe` carries an adjacent `// SAFETY:` |
+//! | `metric-doc-drift` | metric/span names in the registries and OBSERVABILITY.md's tables match, both directions |
+//!
+//! Deliberate exceptions are annotated in place —
+//! `// swcc-lint: allow(<rule>) — <reason>` — with the reason
+//! mandatory, unknown rules rejected, and stale allows reported. The
+//! analysis is a hand-rolled lexer plus token-pattern rules
+//! (`std`-only, no dependencies), so it runs before anything else in
+//! the workspace builds. See DESIGN.md §10 for the architecture and
+//! how to add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use engine::{lint_root, Report, SuppressedFinding};
+pub use rules::{Finding, META_RULES, RULES};

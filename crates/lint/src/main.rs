@@ -1,0 +1,183 @@
+//! The `swcc-lint` binary.
+//!
+//! ```text
+//! swcc-lint [--root PATH] [--format human|json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
+//! error. JSON output (`swcc-lint-report/v1`) goes to stdout; the
+//! human format prints one `path:line: [rule] message` per finding
+//! plus a summary line.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use swcc_lint::engine::Report;
+use swcc_lint::{lint_root, RULES};
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut list_rules = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = argv.next().ok_or("--root needs a path")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--format" => match argv.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    return Err(format!(
+                        "--format must be `human` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--list-rules" => list_rules = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Args {
+        root: root.unwrap_or_else(workspace_root),
+        format,
+        list_rules,
+    })
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring a `[workspace]`; falls back to `.`.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(report: &Report, root: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"schema\":\"swcc-lint-report/v1\"");
+    let _ = write!(out, ",\"root\":\"{}\"", json_escape(root));
+    let _ = write!(out, ",\"files_scanned\":{}", report.files_scanned);
+    out.push_str(",\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        );
+    }
+    out.push_str("],\"suppressed\":[");
+    for (i, s) in report.suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"reason\":\"{}\"}}",
+            json_escape(s.finding.rule),
+            json_escape(&s.finding.file),
+            s.finding.line,
+            json_escape(&s.reason)
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"summary\":{{\"findings\":{},\"suppressed\":{}}}}}",
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    out
+}
+
+fn render_human(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let _ = writeln!(
+        out,
+        "swcc-lint: {} file(s) scanned, {} finding(s), {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("swcc-lint: {e}");
+            eprintln!("usage: swcc-lint [--root PATH] [--format human|json] [--list-rules]");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for (id, description) in RULES {
+            println!("{id}: {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match lint_root(&args.root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("swcc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.format {
+        Format::Human => print!("{}", render_human(&report)),
+        Format::Json => println!("{}", render_json(&report, &args.root.to_string_lossy())),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

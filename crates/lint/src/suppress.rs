@@ -1,0 +1,146 @@
+//! Inline suppressions.
+//!
+//! A finding is silenced by a plain comment on the same line, or on
+//! the line directly above when the comment stands alone:
+//!
+//! ```text
+//! if service == 0.0 { // swcc-lint: allow(float-eq) — zero-demand guard
+//!
+//! // swcc-lint: allow(float-eq) — zero-demand guard
+//! if service == 0.0 {
+//! ```
+//!
+//! The reason after the closing parenthesis is **mandatory** (separated
+//! by `—`, `-`, or `:`): a suppression without one does not suppress
+//! and is itself reported as a `bad-suppression` finding, as is one
+//! naming an unknown rule. A well-formed suppression that silences
+//! nothing is reported as `stale-suppression`, so allow-comments cannot
+//! outlive the code they were written for. Doc comments (`///`, `//!`)
+//! are never parsed as suppressions.
+
+use crate::lexer::Comment;
+
+/// One parsed `swcc-lint: allow(...)` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule id inside `allow(...)`.
+    pub rule: String,
+    /// The stated reason (empty when missing).
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// True when the comment stands alone on its line (so it applies
+    /// to the next line instead of its own).
+    pub own_line: bool,
+}
+
+impl Suppression {
+    /// The line of code this suppression applies to.
+    pub fn target_line(&self) -> u32 {
+        if self.own_line {
+            self.line + 1
+        } else {
+            self.line
+        }
+    }
+}
+
+/// Extracts the suppression from one comment, if it is one.
+///
+/// Returns `None` for ordinary comments and doc comments. A comment
+/// that *mentions* `swcc-lint:` but is not a well-formed
+/// `allow(<rule>)` yields a suppression with an empty rule, which the
+/// engine reports as malformed.
+pub fn parse(comment: &Comment) -> Option<Suppression> {
+    let text = comment.text.trim();
+    // `///` and `//!` comments lex with a leading `/` or `!`.
+    if text.starts_with('/') || text.starts_with('!') {
+        return None;
+    }
+    let rest = text.strip_prefix("swcc-lint:")?.trim_start();
+    let (rule, reason) = match rest.strip_prefix("allow(") {
+        Some(open) => match open.split_once(')') {
+            Some((rule, after)) => (rule.trim().to_string(), strip_separator(after)),
+            None => (String::new(), String::new()),
+        },
+        None => (String::new(), String::new()),
+    };
+    Some(Suppression {
+        rule,
+        reason,
+        line: comment.line,
+        own_line: comment.own_line,
+    })
+}
+
+/// Trims the reason separator (`—`, `–`, `-`, or `:`) and surrounding
+/// whitespace from the text after `allow(...)`.
+fn strip_separator(after: &str) -> String {
+    after
+        .trim_start()
+        .trim_start_matches(['\u{2014}', '\u{2013}', '-', ':'])
+        .trim()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, own_line: bool) -> Comment {
+        Comment {
+            text: text.to_string(),
+            line: 10,
+            own_line,
+        }
+    }
+
+    #[test]
+    fn well_formed_suppressions_parse() {
+        let s = parse(&comment(
+            " swcc-lint: allow(float-eq) — zero guard is deliberate",
+            false,
+        ))
+        .unwrap();
+        assert_eq!(s.rule, "float-eq");
+        assert_eq!(s.reason, "zero guard is deliberate");
+        assert_eq!(s.target_line(), 10);
+    }
+
+    #[test]
+    fn own_line_comments_target_the_next_line() {
+        let s = parse(&comment(" swcc-lint: allow(no-raw-sync) - why", true)).unwrap();
+        assert_eq!(s.target_line(), 11);
+    }
+
+    #[test]
+    fn ascii_separators_work() {
+        for sep in ["-", ":", "—", "–"] {
+            let s = parse(&comment(
+                &format!(" swcc-lint: allow(float-eq) {sep} reason"),
+                false,
+            ))
+            .unwrap();
+            assert_eq!(s.reason, "reason", "{sep}");
+        }
+    }
+
+    #[test]
+    fn missing_reason_is_empty() {
+        let s = parse(&comment(" swcc-lint: allow(float-eq)", false)).unwrap();
+        assert!(s.reason.is_empty());
+    }
+
+    #[test]
+    fn malformed_allow_yields_empty_rule() {
+        let s = parse(&comment(" swcc-lint: disable(float-eq)", false)).unwrap();
+        assert!(s.rule.is_empty());
+    }
+
+    #[test]
+    fn ordinary_and_doc_comments_are_ignored() {
+        assert!(parse(&comment(" just a note", false)).is_none());
+        assert!(parse(&comment("/ doc: swcc-lint: allow(x) — y", false)).is_none());
+        assert!(parse(&comment("! inner doc", false)).is_none());
+    }
+}

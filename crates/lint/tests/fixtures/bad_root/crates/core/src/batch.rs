@@ -1,0 +1,10 @@
+// Fixture: determinism and float-eq violations in a kernel file.
+use std::time::Instant;
+
+pub fn solve(demand: f64) -> f64 {
+    let started = Instant::now();
+    if demand == 0.0 {
+        return 0.0;
+    }
+    demand + started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,3 @@
+// Fixture: registered metric names for the drift rule.
+pub const DOCUMENTED: &str = "fix.core.documented";
+pub const UNDOCUMENTED: &str = "fix.core.undocumented";

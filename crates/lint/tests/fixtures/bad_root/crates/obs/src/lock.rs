@@ -1,0 +1,13 @@
+// Fixture: a raw sync primitive and an unannotated unsafe block.
+use std::sync::Mutex;
+
+pub fn read_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+// SAFETY: the caller promises q is valid and aligned.
+pub fn read_checked(q: *const u64) -> u64 {
+    unsafe { *q }
+}
+
+pub static SHARED: Mutex<u64> = Mutex::new(0);

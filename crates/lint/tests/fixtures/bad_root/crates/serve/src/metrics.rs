@@ -1,0 +1,2 @@
+// Fixture: serve-layer metric names for the drift rule.
+pub const SERVE_DOCUMENTED: &str = "fix.serve.documented";

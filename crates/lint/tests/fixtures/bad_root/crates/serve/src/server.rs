@@ -1,0 +1,20 @@
+// Fixture: request-path panic sites the no-panic rule must flag.
+
+pub fn handle(lines: &[String]) -> String {
+    let first = lines.first().unwrap();
+    if first.is_empty() {
+        panic!("empty request");
+    }
+    let tail = &lines[1];
+    format!("{first}{tail}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v = vec![1];
+        assert_eq!(v[0], 1);
+        super::handle(&["x".to_string(), "y".to_string()]);
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: every suppression form the engine must handle.
+pub fn f(a: f64, b: f64, c: f64, d: f64, e: f64) -> u32 {
+    let mut n = 0;
+    if a == 0.5 { // swcc-lint: allow(float-eq) — exact sentinel comparison
+        n += 1;
+    }
+    // swcc-lint: allow(float-eq) — own-line form covers the next line
+    if b == 0.5 {
+        n += 1;
+    }
+    if c == 0.5 { // swcc-lint: allow(float-eq)
+        n += 1;
+    }
+    if d == 0.5 { // swcc-lint: allow(no-such-rule) — not a rule id
+        n += 1;
+    }
+    let _ = e; // swcc-lint: allow(float-eq) — nothing here to suppress
+    n
+}

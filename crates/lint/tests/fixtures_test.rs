@@ -1,0 +1,125 @@
+//! Golden fixture: every rule proven live against a miniature
+//! workspace with known violations at known lines.
+//!
+//! The assertion is exact — (rule, file, line) triples, in the
+//! engine's deterministic order — so a rule that silently stops
+//! firing (or fires somewhere new) fails loudly here.
+
+use std::path::Path;
+
+use swcc_lint::lint_root;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_root_trips_every_rule_at_the_expected_lines() {
+    let report = lint_root(&fixture("bad_root")).unwrap();
+    let got: Vec<(&str, &str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.line))
+        .collect();
+    let want: Vec<(&str, &str, u32)> = vec![
+        // Documented-but-unregistered direction of the drift rule.
+        ("metric-doc-drift", "OBSERVABILITY.md", 7),
+        // `use std::time::Instant;` and `Instant::now()` both name the
+        // banned ident inside a kernel file.
+        ("determinism", "crates/core/src/batch.rs", 2),
+        ("determinism", "crates/core/src/batch.rs", 5),
+        ("float-eq", "crates/core/src/batch.rs", 6),
+        // Registered-but-undocumented direction of the drift rule.
+        ("metric-doc-drift", "crates/core/src/metrics.rs", 3),
+        ("no-raw-sync", "crates/obs/src/lock.rs", 2),
+        ("safety-comment", "crates/obs/src/lock.rs", 5),
+        ("no-panic-in-request-path", "crates/serve/src/server.rs", 4),
+        ("no-panic-in-request-path", "crates/serve/src/server.rs", 6),
+        ("no-panic-in-request-path", "crates/serve/src/server.rs", 8),
+    ];
+    assert_eq!(got, want);
+    assert!(report.suppressed.is_empty());
+    assert_eq!(report.files_scanned, 5);
+}
+
+#[test]
+fn bad_root_test_module_violations_do_not_fire() {
+    // server.rs's #[cfg(test)] module indexes a Vec and uses
+    // assert_eq!; none of that may appear in the findings.
+    let report = lint_root(&fixture("bad_root")).unwrap();
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| !(f.file.ends_with("server.rs") && f.line > 10)),
+        "test-module lines leaked into findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn bad_root_annotated_unsafe_is_accepted() {
+    // lock.rs line 10 is an unsafe block with a // SAFETY: comment two
+    // lines above — inside the adjacency window, so not a finding.
+    let report = lint_root(&fixture("bad_root")).unwrap();
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| !(f.rule == "safety-comment" && f.line == 10)));
+}
+
+#[test]
+fn drift_findings_name_the_offending_metric() {
+    let report = lint_root(&fixture("bad_root")).unwrap();
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "metric-doc-drift")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(messages.len(), 2);
+    assert!(messages.iter().any(|m| m.contains("`fix.doc.phantom`")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`fix.core.undocumented`")));
+    // The documented-and-registered names are clean in both directions.
+    assert!(messages
+        .iter()
+        .all(|m| !m.contains("fix.core.documented") && !m.contains("fix.serve.documented")));
+}
+
+#[test]
+fn a_root_without_crates_is_an_error_not_a_clean_report() {
+    // A mistyped --root in CI must fail loudly (exit 2), never pass
+    // green having scanned zero files.
+    let err = lint_root(&fixture("no_such_root")).unwrap_err();
+    assert!(err.contains("not a workspace root"), "got: {err}");
+}
+
+#[test]
+fn the_workspace_itself_lints_clean() {
+    // Self-application: the acceptance criterion. Walk up from this
+    // crate to the workspace root and require zero unsuppressed
+    // findings and a reason on every suppression.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let report = lint_root(&root).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "workspace has unsuppressed findings: {:#?}",
+        report.findings
+    );
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "suppression without a reason at {}:{}",
+            s.finding.file,
+            s.finding.line
+        );
+    }
+}

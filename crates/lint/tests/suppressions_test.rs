@@ -1,0 +1,89 @@
+//! Suppression handling: valid allows (same-line and own-line) hide
+//! findings and surface in the report; invalid ones (no reason,
+//! unknown rule) suppress nothing and are themselves findings; stale
+//! allows are reported.
+
+use std::path::Path;
+
+use swcc_lint::lint_root;
+
+fn report() -> swcc_lint::Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/suppress_root");
+    lint_root(&root).unwrap()
+}
+
+#[test]
+fn valid_allows_suppress_in_both_placements() {
+    let report = report();
+    let suppressed: Vec<(u32, &str)> = report
+        .suppressed
+        .iter()
+        .map(|s| (s.finding.line, s.reason.as_str()))
+        .collect();
+    assert_eq!(
+        suppressed,
+        vec![
+            // Trailing comment on the offending line.
+            (4, "exact sentinel comparison"),
+            // Own-line comment applying to the next line.
+            (8, "own-line form covers the next line"),
+        ]
+    );
+    assert!(report
+        .suppressed
+        .iter()
+        .all(|s| s.finding.rule == "float-eq"));
+}
+
+#[test]
+fn a_reasonless_allow_is_rejected_and_suppresses_nothing() {
+    let report = report();
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "bad-suppression" && f.line == 11 && f.message.contains("no reason")));
+    // The finding it tried to hide still fires.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "float-eq" && f.line == 11));
+}
+
+#[test]
+fn an_unknown_rule_allow_is_rejected_and_suppresses_nothing() {
+    let report = report();
+    assert!(report.findings.iter().any(|f| f.rule == "bad-suppression"
+        && f.line == 14
+        && f.message.contains("`no-such-rule`")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "float-eq" && f.line == 14));
+}
+
+#[test]
+fn a_stale_allow_is_reported() {
+    let report = report();
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "stale-suppression" && f.line == 17));
+}
+
+#[test]
+fn the_full_report_is_exact() {
+    // One list, in engine order, so any behavior change shows up.
+    let report = report();
+    let got: Vec<(&str, u32)> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("bad-suppression", 11),
+            ("float-eq", 11),
+            ("bad-suppression", 14),
+            ("float-eq", 14),
+            ("stale-suppression", 17),
+        ]
+    );
+    assert!(!report.is_clean());
+}

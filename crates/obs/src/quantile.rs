@@ -72,6 +72,7 @@ fn sorted_quantile(finite: &[f64], q: f64) -> Option<f64> {
     let lo = (rank.floor() as usize).min(last);
     let hi = (lo + 1).min(last);
     let frac = (rank - lo as f64).clamp(0.0, 1.0);
+    // swcc-lint: allow(float-eq) — frac came out of clamp(0.0, 1.0), so NaN cannot reach here and -0.0 is an exact rank
     if frac == 0.0 {
         // An exact order statistic is returned as-is. Running it
         // through the interpolation arithmetic is not a no-op:

@@ -298,7 +298,7 @@ impl MetricsSnapshot {
     /// `true` if nothing was ever recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.iter().all(|c| c.value == 0)
-            && self.gauges.iter().all(|g| g.value == 0.0)
+            && self.gauges.iter().all(|g| g.value == 0.0) // swcc-lint: allow(float-eq) — a -0.0 gauge counts as empty for snapshot pruning
             && self.histograms.iter().all(|h| h.count == 0)
     }
 

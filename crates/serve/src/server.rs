@@ -367,10 +367,12 @@ fn resolve_lanes<V: Copy>(
     Ok(())
 }
 
-fn lane_value<V: Copy>(lane: &Lane<V>) -> (V, Provenance) {
+fn lane_value<V: Copy>(lane: &Lane<V>) -> Result<(V, Provenance), String> {
     match &lane.state {
-        LaneState::Value(v, p) => (*v, *p),
-        _ => unreachable!("resolve_lanes settles every lane"),
+        LaneState::Value(v, p) => Ok((*v, *p)),
+        // resolve_lanes settles every lane; answering an internal
+        // error beats panicking mid-response if that ever regresses.
+        _ => Err("internal: lane left unsettled after resolve".to_string()),
     }
 }
 
@@ -414,7 +416,11 @@ fn solve_net_one(key: &PointKey) -> Result<OperatingPoint, String> {
             None,
         )
         .map_err(|e| e.to_string())?;
-    Ok(batch.points()[0])
+    batch
+        .points()
+        .first()
+        .copied()
+        .ok_or_else(|| "internal: one-lane network solve returned no points".to_string())
 }
 
 enum QueryPlan {
@@ -451,7 +457,11 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
         match query.machine {
             Machine::Bus { processors } => {
                 if query.kind == QueryKind::Sensitivity {
-                    let table = sensitivity_table_at(processors, &query.workloads[0])
+                    let workload = query
+                        .workloads
+                        .first()
+                        .ok_or_else(|| format!("query {i}: no workload to rank"))?;
+                    let table = sensitivity_table_at(processors, workload)
                         .map_err(|e| format!("query {i}: {e}"))?;
                     points += 1;
                     plans.push(QueryPlan::Sensitivity {
@@ -610,11 +620,10 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
         let _ = write!(out, ",\"id\":{id}");
     }
     out.push_str(",\"results\":[");
-    for (qi, plan) in plans.iter().enumerate() {
+    for (qi, (plan, query)) in plans.iter().zip(&batch.queries).enumerate() {
         if qi > 0 {
             out.push(',');
         }
-        let query = &batch.queries[qi];
         match plan {
             QueryPlan::Sensitivity { ranking } => {
                 out.push_str("{\"kind\":\"sensitivity\",\"scheme\":");
@@ -633,20 +642,16 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
                 out.push_str("]}");
             }
             QueryPlan::Bus { start, len } => {
-                render_bus_query(
-                    &mut out,
-                    query,
-                    &bus_lanes[*start..*start + *len],
-                    batch.compact,
-                );
+                let lanes = bus_lanes
+                    .get(*start..*start + *len)
+                    .ok_or_else(|| format!("internal: bus plan for query {qi} out of range"))?;
+                render_bus_query(&mut out, query, lanes, batch.compact)?;
             }
             QueryPlan::Net { start, len } => {
-                render_net_query(
-                    &mut out,
-                    query,
-                    &net_lanes[*start..*start + *len],
-                    batch.compact,
-                );
+                let lanes = net_lanes
+                    .get(*start..*start + *len)
+                    .ok_or_else(|| format!("internal: net plan for query {qi} out of range"))?;
+                render_net_query(&mut out, query, lanes, batch.compact)?;
             }
         }
     }
@@ -668,9 +673,14 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
     Ok(out)
 }
 
-fn render_bus_query(out: &mut String, query: &Query, lanes: &[Lane<BusPoint>], compact: bool) {
+fn render_bus_query(
+    out: &mut String,
+    query: &Query,
+    lanes: &[Lane<BusPoint>],
+    compact: bool,
+) -> Result<(), String> {
     let Machine::Bus { processors } = query.machine else {
-        unreachable!("bus plan for bus machine");
+        return Err("internal: bus plan paired with a non-bus machine".to_string());
     };
     if compact {
         out.push_str("{\"values\":[");
@@ -678,7 +688,7 @@ fn render_bus_query(out: &mut String, query: &Query, lanes: &[Lane<BusPoint>], c
             if j > 0 {
                 out.push(',');
             }
-            let (v, _) = lane_value(lane);
+            let (v, _) = lane_value(lane)?;
             let perf = BusPerformance::from_queue_solution(
                 query.scheme,
                 processors,
@@ -693,14 +703,14 @@ fn render_bus_query(out: &mut String, query: &Query, lanes: &[Lane<BusPoint>], c
             push_f64(out, primary);
         }
         out.push_str("]}");
-        return;
+        return Ok(());
     }
     out.push_str("{\"points\":[");
     for (j, lane) in lanes.iter().enumerate() {
         if j > 0 {
             out.push(',');
         }
-        let (v, provenance) = lane_value(lane);
+        let (v, provenance) = lane_value(lane)?;
         let perf = BusPerformance::from_queue_solution(
             query.scheme,
             processors,
@@ -709,9 +719,9 @@ fn render_bus_query(out: &mut String, query: &Query, lanes: &[Lane<BusPoint>], c
             v.bus_utilization,
         );
         out.push('{');
-        if !query.sweep_values.is_empty() {
+        if let Some(value) = query.sweep_values.get(j) {
             out.push_str("\"value\":");
-            push_f64(out, query.sweep_values[j]);
+            push_f64(out, *value);
             out.push(',');
         }
         out.push_str("\"power\":");
@@ -729,6 +739,7 @@ fn render_bus_query(out: &mut String, query: &Query, lanes: &[Lane<BusPoint>], c
         out.push('}');
     }
     out.push_str("]}");
+    Ok(())
 }
 
 fn render_net_query(
@@ -736,9 +747,9 @@ fn render_net_query(
     query: &Query,
     lanes: &[Lane<OperatingPoint>],
     compact: bool,
-) {
+) -> Result<(), String> {
     let Machine::Network { stages } = query.machine else {
-        unreachable!("net plan for network machine");
+        return Err("internal: net plan paired with a non-network machine".to_string());
     };
     if compact {
         out.push_str("{\"values\":[");
@@ -746,26 +757,26 @@ fn render_net_query(
             if j > 0 {
                 out.push(',');
             }
-            let (point, _) = lane_value(lane);
+            let (point, _) = lane_value(lane)?;
             let perf =
                 NetworkPerformance::from_operating_point(query.scheme, stages, lane.demand, point);
             push_f64(out, perf.power());
         }
         out.push_str("]}");
-        return;
+        return Ok(());
     }
     out.push_str("{\"points\":[");
     for (j, lane) in lanes.iter().enumerate() {
         if j > 0 {
             out.push(',');
         }
-        let (point, provenance) = lane_value(lane);
+        let (point, provenance) = lane_value(lane)?;
         let perf =
             NetworkPerformance::from_operating_point(query.scheme, stages, lane.demand, point);
         out.push('{');
-        if !query.sweep_values.is_empty() {
+        if let Some(value) = query.sweep_values.get(j) {
             out.push_str("\"value\":");
-            push_f64(out, query.sweep_values[j]);
+            push_f64(out, *value);
             out.push(',');
         }
         out.push_str("\"power\":");
@@ -781,6 +792,7 @@ fn render_net_query(
         out.push('}');
     }
     out.push_str("]}");
+    Ok(())
 }
 
 /// Handles one request line, returning the response line and whether a
@@ -1138,6 +1150,51 @@ mod tests {
         assert!(response.contains("\"ok\":false"));
         assert!(!shutdown);
         assert_eq!(state.errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_workload_expansion_is_an_error_response_not_a_panic() {
+        // parse_query always emits >= 1 workload, so this batch can
+        // only be constructed programmatically — exactly the shape the
+        // request path must answer (not die on) if an upstream
+        // invariant ever regresses.
+        let state = state();
+        let pathological = Batch {
+            id: Some(7),
+            compact: false,
+            queries: vec![Query {
+                kind: QueryKind::Sensitivity,
+                scheme: Scheme::Dragon,
+                machine: Machine::Bus { processors: 8 },
+                workloads: Vec::new(),
+                sweep_values: Vec::new(),
+            }],
+        };
+        let err = run_batch(&state, &pathological).unwrap_err();
+        assert!(err.contains("no workload"), "got: {err}");
+    }
+
+    #[test]
+    fn short_sweep_values_render_without_panicking() {
+        // sweep_values is documented as parallel to workloads; a
+        // mismatch must degrade to omitting the `value` field for the
+        // unmatched lanes, never to an index panic.
+        let state = state();
+        let line = r#"{"queries":[{"scheme":"base","machine":{"interconnect":"bus","processors":4},"sweep":{"param":"shd","from":0.05,"to":0.2,"points":3}}]}"#;
+        let mut mismatched = batch(line);
+        mismatched.queries[0].sweep_values.truncate(1);
+        let response = run_batch(&state, &mismatched).unwrap();
+        let parsed: serde::Value = serde_json::from_str(&response).unwrap();
+        let points = parsed
+            .get_field("results")
+            .and_then(|r| r.get_index(0))
+            .and_then(|q| q.get_field("points"))
+            .and_then(serde::Value::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].get_field("value").is_some());
+        assert!(points[1].get_field("value").is_none());
+        assert!(points[2].get_field("value").is_none());
     }
 
     #[test]
