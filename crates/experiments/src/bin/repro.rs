@@ -8,6 +8,7 @@
 //! repro trace-report <path>                   summarize a --trace JSONL file
 //! repro trace-export <path> --format F        convert a trace for other tools
 //! repro history [--last K] [--tolerance PCT]  show run history + drift gate
+//!               [--loadgen-report PATH ...]    …and trend loadgen steady p99
 //! repro report --html PATH [trace.jsonl]      write the HTML run dashboard
 //! repro accuracy [--quick] [--baseline PATH]  run the model-accuracy gate
 //! repro --version                             print version + build provenance
@@ -37,7 +38,12 @@
 //! Perfetto load (`--format chrome`) or collapsed flamegraph stacks
 //! with self-time weights (`--format folded`). `history` prints the
 //! recorded-run trend table and exits nonzero when a machine-independent
-//! quantity drifted beyond tolerance versus its trailing median.
+//! quantity drifted beyond tolerance versus its trailing median; with
+//! `--loadgen-report PATH` (repeatable, oldest first) it additionally
+//! trends the `swcc-loadgen/v2` steady-state p99 under the same
+//! trailing-median ceiling, printing one explicit skip line for any
+//! report that lacks the quantity (a v1 report, or a run without
+//! `--timeline`).
 //! `report --html` writes a single-file dependency-free dashboard.
 //! `accuracy` re-runs the validation figures against the checked-in
 //! tolerance baseline (`baselines/accuracy.json`) and exits nonzero on
@@ -59,8 +65,8 @@ use std::time::Instant;
 
 use swcc_experiments::gate::{run_gate, AccuracyBaseline};
 use swcc_experiments::history::{
-    append_record, detect_drift, load_history, render_history, HistoryRecord,
-    DEFAULT_DRIFT_TOLERANCE, DEFAULT_HISTORY_PATH,
+    append_record, detect_drift, load_history, loadgen_p99_drift, loadgen_steady_p99,
+    render_history, HistoryRecord, LoadgenP99, DEFAULT_DRIFT_TOLERANCE, DEFAULT_HISTORY_PATH,
 };
 use swcc_experiments::html_report::render_dashboard;
 use swcc_experiments::manifest::{BuildProvenance, ManifestOptions, RunManifest};
@@ -95,7 +101,8 @@ fn usage() {
     eprintln!(
         "usage: repro list | check-manifest <path> | trace-report <path> |\n\
          \x20      trace-export <path> --format chrome|folded [--out PATH] |\n\
-         \x20      history [--last K] [--tolerance PCT] [--history-file PATH] |\n\
+         \x20      history [--last K] [--tolerance PCT] [--history-file PATH]\n\
+         \x20              [--loadgen-report PATH ...] |\n\
          \x20      report --html PATH [trace.jsonl] [--history-file PATH] |\n\
          \x20      accuracy [--quick] [--baseline PATH] |\n\
          \x20      all [options] | <id>... [options] | --version\n\
@@ -136,6 +143,31 @@ fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>,
             args.remove(pos);
         } else {
             value = Some(args.remove(pos)[prefix.len()..].to_string());
+        }
+    }
+}
+
+/// Parses every `--name V` / `--name=V` occurrence out of `args`, in
+/// order (unlike [`take_value_flag`], repeats accumulate rather than
+/// last-wins — the order is the history order).
+fn take_value_flags(args: &mut Vec<String>, name: &str) -> Result<Vec<String>, String> {
+    let prefix = format!("{name}=");
+    let mut values = Vec::new();
+    loop {
+        let Some(pos) = args
+            .iter()
+            .position(|a| a == name || a.starts_with(&prefix))
+        else {
+            return Ok(values);
+        };
+        if args[pos] == name {
+            if pos + 1 >= args.len() {
+                return Err(format!("{name} needs a value"));
+            }
+            values.push(args.remove(pos + 1));
+            args.remove(pos);
+        } else {
+            values.push(args.remove(pos)[prefix.len()..].to_string());
         }
     }
 }
@@ -238,7 +270,12 @@ fn trace_export_cmd(path: &str, format_name: &str, out: Option<&str>) -> ExitCod
     ExitCode::SUCCESS
 }
 
-fn history_cmd(history_file: &str, last: usize, tolerance: f64) -> ExitCode {
+fn history_cmd(
+    history_file: &str,
+    last: usize,
+    tolerance: f64,
+    loadgen_reports: &[String],
+) -> ExitCode {
     let records = match load_history(Path::new(history_file)) {
         Ok(r) => r,
         Err(e) => {
@@ -247,12 +284,41 @@ fn history_cmd(history_file: &str, last: usize, tolerance: f64) -> ExitCode {
         }
     };
     say!("{}", render_history(&records, last).trim_end());
-    if records.is_empty() {
-        return ExitCode::SUCCESS;
+    let mut passed = true;
+    if !records.is_empty() {
+        let outcome = detect_drift(&records, tolerance);
+        say!("{}", outcome.render().trim_end());
+        passed &= outcome.passed();
     }
-    let outcome = detect_drift(&records, tolerance);
-    say!("{}", outcome.render().trim_end());
-    if outcome.passed() {
+    if !loadgen_reports.is_empty() {
+        let mut p99s: Vec<f64> = Vec::new();
+        for path in loadgen_reports {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match loadgen_steady_p99(&json) {
+                Ok(LoadgenP99::Present(v)) => {
+                    say!("loadgen p99: {path} steady-state p99 {v:.1}us");
+                    p99s.push(v);
+                }
+                Ok(LoadgenP99::Absent(reason)) => {
+                    say!("loadgen p99: SKIPPED {path} ({reason})");
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let outcome = loadgen_p99_drift(&p99s, tolerance);
+        say!("{}", outcome.render().trim_end());
+        passed &= outcome.passed();
+    }
+    if passed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -416,6 +482,14 @@ fn main() -> ExitCode {
         }
     };
     let history_file = value_flag!("--history-file");
+    let loadgen_reports = match take_value_flags(&mut args, "--loadgen-report") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
     let html = value_flag!("--html");
     if let Some(unknown) = args.iter().find(|a| a.starts_with('-')) {
         eprintln!("unknown option: {unknown}");
@@ -423,7 +497,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let export_option = format.is_some() || out.is_some();
-    let history_option = last.is_some() || tolerance.is_some();
+    let history_option = last.is_some() || tolerance.is_some() || !loadgen_reports.is_empty();
     let report_option = html.is_some();
     let history_file_option = history_file.is_some();
     let run_option = json
@@ -486,13 +560,17 @@ fn main() -> ExitCode {
         let other =
             quick || run_option || baseline_path.is_some() || export_option || report_option;
         if other || args.len() != 1 {
-            eprintln!("usage: repro history [--last K] [--tolerance PCT] [--history-file PATH]");
+            eprintln!(
+                "usage: repro history [--last K] [--tolerance PCT] [--history-file PATH] \
+                 [--loadgen-report PATH ...]"
+            );
             return ExitCode::FAILURE;
         }
         return history_cmd(
             history_file.as_deref().unwrap_or(DEFAULT_HISTORY_PATH),
             last.unwrap_or(0),
             tolerance.unwrap_or(DEFAULT_DRIFT_TOLERANCE),
+            &loadgen_reports,
         );
     }
     if args.first().map(String::as_str) == Some("report") {
@@ -529,8 +607,8 @@ fn main() -> ExitCode {
     }
     if export_option || history_option || report_option {
         eprintln!(
-            "--format/--out, --last/--tolerance, and --html only apply to the \
-             trace-export, history, and report subcommands"
+            "--format/--out, --last/--tolerance/--loadgen-report, and --html only \
+             apply to the trace-export, history, and report subcommands"
         );
         usage();
         return ExitCode::FAILURE;

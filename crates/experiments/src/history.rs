@@ -587,6 +587,103 @@ pub fn detect_drift(history: &[HistoryRecord], tolerance: f64) -> DriftOutcome {
     }
 }
 
+// --- loadgen steady-state p99 trending ----------------------------------
+
+/// Steady-state p99 extracted from one `swcc-loadgen` report, or the
+/// printable reason there is none.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadgenP99 {
+    /// A `swcc-loadgen/v2` report with a timeline-derived steady-state
+    /// p99, in microseconds.
+    Present(f64),
+    /// A genuine loadgen report without the quantity — a v1 report, or
+    /// a v2 run without `--timeline`. The string says which.
+    Absent(String),
+}
+
+/// Reads the steady-state p99 out of one loadgen report.
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON or a file that is not a
+/// loadgen report at all. A report that merely lacks the quantity is
+/// `Ok(Absent(reason))`, not an error — `repro history` skips it with
+/// one printed line instead of failing.
+pub fn loadgen_steady_p99(json: &str) -> Result<LoadgenP99, String> {
+    let value: Value =
+        serde_json::from_str(json).map_err(|e| format!("invalid loadgen report: {e}"))?;
+    let schema = value
+        .get_field("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "loadgen report has no schema field".to_string())?;
+    if !schema.starts_with("swcc-loadgen/") {
+        return Err(format!("not a loadgen report (schema {schema:?})"));
+    }
+    if schema != "swcc-loadgen/v2" {
+        return Ok(LoadgenP99::Absent(format!(
+            "schema {schema} predates steady-state p99 (needs swcc-loadgen/v2)"
+        )));
+    }
+    match value
+        .get_field("steady_state")
+        .and_then(|s| s.get_field("p99_us"))
+        .and_then(Value::as_f64)
+    {
+        Some(v) if v.is_finite() && v > 0.0 => Ok(LoadgenP99::Present(v)),
+        _ => Ok(LoadgenP99::Absent(
+            "no steady-state p99 (run without --timeline, or no post-warmup windows)".to_string(),
+        )),
+    }
+}
+
+/// Gates the newest loadgen steady-state p99 against the trailing
+/// median of its predecessors — the same trailing-median ceiling shape
+/// as [`detect_drift`], including the two-predecessor minimum and the
+/// explicit insufficient-history skip.
+pub fn loadgen_p99_drift(values: &[f64], tolerance: f64) -> DriftOutcome {
+    let Some((current, trailing)) = values.split_last() else {
+        return DriftOutcome {
+            rows: Vec::new(),
+            compared: 0,
+            tolerance,
+            notes: vec!["insufficient history: no loadgen steady-state p99 values".to_string()],
+        };
+    };
+    if trailing.len() < 2 {
+        return DriftOutcome {
+            rows: Vec::new(),
+            compared: trailing.len(),
+            tolerance,
+            notes: vec![format!(
+                "insufficient history: {} trailing loadgen report(s), but a trailing \
+                 median needs at least 2 — record more timeline runs",
+                trailing.len()
+            )],
+        };
+    }
+    let Some(trailing_median) = median(trailing) else {
+        return DriftOutcome {
+            rows: Vec::new(),
+            compared: trailing.len(),
+            tolerance,
+            notes: vec!["insufficient history: trailing p99s have no median".to_string()],
+        };
+    };
+    const EPSILON: f64 = 1e-9;
+    DriftOutcome {
+        rows: vec![DriftRow {
+            quantity: "loadgen steady p99 (us)".to_string(),
+            current: *current,
+            median: trailing_median,
+            direction: DriftDirection::Ceiling,
+            drifted: *current > trailing_median * (1.0 + tolerance) + EPSILON,
+        }],
+        compared: trailing.len(),
+        tolerance,
+        notes: Vec::new(),
+    }
+}
+
 /// Renders the `repro history` trend table over the last `last`
 /// records (0 = all).
 pub fn render_history(records: &[HistoryRecord], last: usize) -> String {
@@ -895,6 +992,55 @@ mod tests {
         assert_eq!(a, b, "iteration counts are machine-independent");
         assert!(a.warm_iterations < a.cold_iterations);
         assert!(a.iteration_speedup > 1.0);
+    }
+
+    #[test]
+    fn loadgen_p99_extraction_distinguishes_present_absent_and_garbage() {
+        let v2 = r#"{"schema":"swcc-loadgen/v2","steady_state":{"windows":3,"p99_us":812.5}}"#;
+        assert_eq!(loadgen_steady_p99(v2).unwrap(), LoadgenP99::Present(812.5));
+        // v2 without --timeline: the field is null, not missing.
+        let no_timeline =
+            r#"{"schema":"swcc-loadgen/v2","steady_state":{"windows":0,"p99_us":null}}"#;
+        assert!(matches!(
+            loadgen_steady_p99(no_timeline).unwrap(),
+            LoadgenP99::Absent(_)
+        ));
+        // v1 predates the quantity entirely.
+        let v1 = r#"{"schema":"swcc-loadgen/v1","latency_us":{"p99":900}}"#;
+        match loadgen_steady_p99(v1).unwrap() {
+            LoadgenP99::Absent(reason) => assert!(reason.contains("v2"), "{reason}"),
+            other => panic!("expected Absent, got {other:?}"),
+        }
+        // Not a loadgen report / not JSON: hard errors.
+        assert!(loadgen_steady_p99(r#"{"schema":"swcc-run-history/v1"}"#).is_err());
+        assert!(loadgen_steady_p99("{}").is_err());
+        assert!(loadgen_steady_p99("garbage").is_err());
+    }
+
+    #[test]
+    fn loadgen_p99_gate_mirrors_the_drift_shape() {
+        // Too little history: explicit skip, passing.
+        for values in [&[][..], &[800.0][..], &[800.0, 810.0][..]] {
+            let outcome = loadgen_p99_drift(values, DEFAULT_DRIFT_TOLERANCE);
+            assert!(outcome.passed());
+            assert!(outcome.rows.is_empty());
+            assert!(
+                outcome.render().contains("insufficient history"),
+                "{}",
+                outcome.render()
+            );
+        }
+        // Steady: passes against the trailing median.
+        let outcome = loadgen_p99_drift(&[800.0, 820.0, 810.0, 815.0], DEFAULT_DRIFT_TOLERANCE);
+        assert_eq!(outcome.compared, 3);
+        assert!(outcome.passed(), "{}", outcome.render());
+        // Regression: newest p99 blows through the ceiling.
+        let outcome = loadgen_p99_drift(&[800.0, 820.0, 810.0, 1200.0], DEFAULT_DRIFT_TOLERANCE);
+        assert!(!outcome.passed());
+        assert!(outcome.render().contains("loadgen steady p99"));
+        // Improvement: a faster p99 never fails a ceiling.
+        let outcome = loadgen_p99_drift(&[800.0, 820.0, 810.0, 400.0], DEFAULT_DRIFT_TOLERANCE);
+        assert!(outcome.passed());
     }
 
     #[test]

@@ -170,7 +170,11 @@ fn no_raw_sync(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 
 /// The request-handling files: everything between a parsed line and a
 /// rendered response line.
-const REQUEST_PATH_FILES: &[&str] = &["crates/serve/src/server.rs", "crates/serve/src/protocol.rs"];
+const REQUEST_PATH_FILES: &[&str] = &[
+    "crates/serve/src/server.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/telemetry.rs",
+];
 
 const PANICKING_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
 const PANICKING_MACROS: &[&str] = &[

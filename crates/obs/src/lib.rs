@@ -53,6 +53,7 @@ mod registry;
 pub mod sync;
 pub mod trace;
 pub mod tree;
+pub mod window;
 
 pub use metric::{Counter, Gauge, Histogram};
 pub use recorder::{
@@ -68,6 +69,7 @@ pub use trace::{
     Field, FieldValue, JsonlSink, Span, TraceEvent,
 };
 pub use tree::{parse_line, parse_trace, ParsedEvent, ParsedTrace, Scalar, SpanNode, SpanTree};
+pub use window::{WindowRing, WindowStats, WindowedSnapshot, WINDOW_SECONDS};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,36 @@
+//! Captures build provenance (git commit, toolchain versions, profile)
+//! into compile-time env vars so `stats` and `telemetry` responses can
+//! identify the binary that produced them — the same stamp the run
+//! manifests carry. Every value degrades to `"unknown"` rather than
+//! failing the build; provenance is best-effort by design.
+
+use std::process::Command;
+
+fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().next()?.trim().to_string();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+fn main() {
+    let unknown = || "unknown".to_string();
+    let git_commit =
+        command_line("git", &["rev-parse", "--short=12", "HEAD"]).unwrap_or_else(unknown);
+    let rustc = std::env::var("RUSTC")
+        .ok()
+        .and_then(|rc| command_line(&rc, &["--version"]))
+        .unwrap_or_else(unknown);
+    let profile = std::env::var("PROFILE").unwrap_or_else(|_| unknown());
+    println!("cargo:rustc-env=SWCC_GIT_COMMIT={git_commit}");
+    println!("cargo:rustc-env=SWCC_RUSTC={rustc}");
+    println!("cargo:rustc-env=SWCC_PROFILE={profile}");
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -3,12 +3,23 @@
 //! ```text
 //! swcc-serve [--addr HOST:PORT] [--workers N]
 //!            [--read-timeout-ms MS] [--solve-timeout-ms MS]
+//!            [--telemetry-addr HOST:PORT] [--access-log PATH]
+//!            [--slow-threshold-us US] [--slow-capacity N]
 //! ```
 //!
 //! Binds the listener, installs a process-wide metrics registry
 //! covering the model and serve layers, prints one `listening on …`
 //! line to stdout, and serves until a client sends
 //! `{"cmd":"shutdown"}`. On exit it prints a final stats line.
+//!
+//! Live telemetry is always available in-band via
+//! `{"cmd":"telemetry"}`. With `--telemetry-addr` a second listener
+//! additionally serves scrapers over plain HTTP: `GET /metrics`
+//! (Prometheus text), `/telemetry` (JSON), `/slow` (slow-request
+//! captures). `--access-log` appends one JSONL line per request;
+//! `--slow-threshold-us` (default 100000, `0` disables) captures any
+//! slower request's phase spans into a ring of `--slow-capacity`
+//! (default 32) entries.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -17,7 +28,10 @@ use swcc_serve::{spawn, ServeConfig};
 
 fn usage() -> &'static str {
     "usage: swcc-serve [--addr HOST:PORT] [--workers N] \
-     [--read-timeout-ms MS] [--solve-timeout-ms MS]"
+     [--read-timeout-ms MS] [--solve-timeout-ms MS] \
+     [--telemetry-addr HOST:PORT] [--access-log PATH] \
+     [--slow-threshold-us US (default 100000, 0 disables)] \
+     [--slow-capacity N (default 32)]"
 }
 
 fn parse_args() -> Result<ServeConfig, String> {
@@ -53,6 +67,21 @@ fn parse_args() -> Result<ServeConfig, String> {
                     .map_err(|e| format!("--solve-timeout-ms: {e}"))?;
                 config.solve_timeout = Duration::from_millis(ms.max(1));
             }
+            "--telemetry-addr" => config.telemetry_addr = Some(value("--telemetry-addr")?),
+            "--access-log" => config.access_log = Some(value("--access-log")?),
+            "--slow-threshold-us" => {
+                config.slow_threshold_us = value("--slow-threshold-us")?
+                    .parse()
+                    .map_err(|e| format!("--slow-threshold-us: {e}"))?;
+                if !config.slow_threshold_us.is_finite() || config.slow_threshold_us < 0.0 {
+                    return Err("--slow-threshold-us must be a finite non-negative number".into());
+                }
+            }
+            "--slow-capacity" => {
+                config.slow_capacity = value("--slow-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--slow-capacity: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -64,7 +93,7 @@ fn parse_args() -> Result<ServeConfig, String> {
 }
 
 fn main() -> ExitCode {
-    let config = match parse_args() {
+    let mut config = match parse_args() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("swcc-serve: {e}");
@@ -76,7 +105,11 @@ fn main() -> ExitCode {
         swcc_obs::RegistryBuilder::new(),
     ))
     .build();
-    let _ = swcc_obs::install(Box::leak(Box::new(registry)));
+    // The telemetry command needs the concrete registry for cumulative
+    // snapshots; the install API only exposes the trait object.
+    let registry: &'static swcc_obs::MetricsRegistry = Box::leak(Box::new(registry));
+    let _ = swcc_obs::install(registry);
+    config.registry = Some(registry);
 
     let workers = config.workers;
     let running = match spawn(config) {
@@ -91,6 +124,9 @@ fn main() -> ExitCode {
         running.addr(),
         workers
     );
+    if let Some(addr) = running.telemetry_addr() {
+        println!("swcc-serve telemetry on {addr}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 

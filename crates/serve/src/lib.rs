@@ -31,8 +31,13 @@
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
-pub use protocol::{parse_request, Batch, Machine, Query, QueryKind, Request, PROTOCOL_VERSION};
-pub use server::{
-    handle_request, run_batch, spawn, BusPoint, RunningServer, ServeConfig, ServeState,
+pub use protocol::{
+    parse_request, Batch, Machine, Query, QueryKind, Request, TelemetryFormat, PROTOCOL_VERSION,
 };
+pub use server::{
+    handle_request, run_batch, run_batch_traced, spawn, BusPoint, RunningServer, ServeConfig,
+    ServeState,
+};
+pub use telemetry::{PhaseSpan, RequestTrace, Telemetry, TelemetrySnapshot, TELEMETRY_SCHEMA};

@@ -36,6 +36,18 @@ pub const SERVE_SOLVES: &str = "serve.solves";
 /// Lanes submitted across all serve-side solver calls.
 pub const SERVE_SOLVE_LANES: &str = "serve.solve_lanes";
 
+/// `telemetry` protocol commands answered.
+pub const SERVE_TELEMETRY_REQUESTS: &str = "serve.telemetry.requests";
+/// Exposition-listener scrapes served (`--telemetry-addr`).
+pub const SERVE_TELEMETRY_SCRAPES: &str = "serve.telemetry.scrapes";
+/// Requests captured into the slow-request ring (over
+/// `--slow-threshold-us`).
+pub const SERVE_SLOW_CAPTURED: &str = "serve.slow.captured";
+/// Lines appended to the structured access log.
+pub const SERVE_ACCESS_LOG_LINES: &str = "serve.access_log.lines";
+/// Access-log lines lost to write errors.
+pub const SERVE_ACCESS_LOG_ERRORS: &str = "serve.access_log.errors";
+
 /// Distribution of query points per batch request.
 pub const SERVE_BATCH_WIDTH: &str = "serve.batch_width";
 /// Distribution of wall-clock microseconds per request.
@@ -65,6 +77,11 @@ pub fn register(builder: RegistryBuilder) -> RegistryBuilder {
         .counter(SERVE_CACHE_COALESCED)
         .counter(SERVE_SOLVES)
         .counter(SERVE_SOLVE_LANES)
+        .counter(SERVE_TELEMETRY_REQUESTS)
+        .counter(SERVE_TELEMETRY_SCRAPES)
+        .counter(SERVE_SLOW_CAPTURED)
+        .counter(SERVE_ACCESS_LOG_LINES)
+        .counter(SERVE_ACCESS_LOG_ERRORS)
         .histogram(
             SERVE_BATCH_WIDTH,
             &[
@@ -114,6 +131,11 @@ mod tests {
             SERVE_CACHE_COALESCED,
             SERVE_SOLVES,
             SERVE_SOLVE_LANES,
+            SERVE_TELEMETRY_REQUESTS,
+            SERVE_TELEMETRY_SCRAPES,
+            SERVE_SLOW_CAPTURED,
+            SERVE_ACCESS_LOG_LINES,
+            SERVE_ACCESS_LOG_ERRORS,
         ] {
             assert_eq!(registry.counter_value(name), Some(0), "{name}");
         }

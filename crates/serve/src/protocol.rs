@@ -93,17 +93,42 @@ pub enum Request {
     Ping,
     /// Server counter snapshot.
     Stats,
+    /// Live telemetry: rolling windows, cumulative registry, uptime and
+    /// build provenance (`{"cmd":"telemetry"}`), or the retained
+    /// slow-request captures (`{"cmd":"telemetry","slow":true}`).
+    Telemetry {
+        /// Return the slow-request capture ring instead of the snapshot.
+        slow: bool,
+        /// Response rendering for the snapshot.
+        format: TelemetryFormat,
+    },
     /// Graceful shutdown.
     Shutdown,
     /// A query batch.
     Batch(Batch),
 }
 
+/// How a `telemetry` snapshot response is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryFormat {
+    /// JSON snapshot only (the default).
+    Json,
+    /// JSON snapshot plus the Prometheus text exposition of the same
+    /// snapshot in an `"exposition"` string field.
+    Prometheus,
+}
+
+/// Longest accepted client-supplied request id.
+pub const MAX_REQUEST_ID_LEN: usize = 64;
+
 /// A query batch request.
 #[derive(Debug)]
 pub struct Batch {
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<u64>,
+    /// Client-supplied request id for tracing and the access log (the
+    /// server generates one when absent).
+    pub request: Option<String>,
     /// Compact responses: per-query arrays of the primary metric only.
     pub compact: bool,
     /// The queries.
@@ -297,6 +322,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         return match name {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "telemetry" => {
+                let slow = value
+                    .get_field("slow")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false);
+                let format = match value.get_field("format") {
+                    None => TelemetryFormat::Json,
+                    Some(v) => match v.as_str() {
+                        Some("json") => TelemetryFormat::Json,
+                        Some("prometheus") => TelemetryFormat::Prometheus,
+                        _ => {
+                            return Err(
+                                "telemetry \"format\" must be \"json\" or \"prometheus\"".into()
+                            )
+                        }
+                    },
+                };
+                Ok(Request::Telemetry { slow, format })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command \"{other}\"")),
         };
@@ -315,6 +359,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ));
     }
     let id = value.get_field("id").and_then(Value::as_u64);
+    let request = match value.get_field("request") {
+        None => None,
+        Some(v) => {
+            let rid = v.as_str().ok_or("\"request\" must be a string")?;
+            if rid.is_empty() || rid.len() > MAX_REQUEST_ID_LEN {
+                return Err(format!(
+                    "\"request\" must be 1..={MAX_REQUEST_ID_LEN} bytes"
+                ));
+            }
+            Some(rid.to_string())
+        }
+    };
     let compact = value
         .get_field("compact")
         .and_then(Value::as_bool)
@@ -333,6 +389,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
     Ok(Request::Batch(Batch {
         id,
+        request,
         compact,
         queries: parsed,
     }))
@@ -484,6 +541,47 @@ mod tests {
         ));
         assert!(parse_request(r#"{"cmd":"reboot"}"#).is_err());
         assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn telemetry_command_parses_with_options() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"telemetry"}"#).unwrap(),
+            Request::Telemetry {
+                slow: false,
+                format: TelemetryFormat::Json
+            }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"telemetry","slow":true}"#).unwrap(),
+            Request::Telemetry { slow: true, .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"telemetry","format":"prometheus"}"#).unwrap(),
+            Request::Telemetry {
+                format: TelemetryFormat::Prometheus,
+                ..
+            }
+        ));
+        let err = parse_request(r#"{"cmd":"telemetry","format":"xml"}"#).unwrap_err();
+        assert!(err.contains("prometheus"), "{err}");
+    }
+
+    #[test]
+    fn batch_request_id_is_validated() {
+        let ok = r#"{"request":"req-7","queries":[{"scheme":"base","machine":{"interconnect":"bus","processors":4}}]}"#;
+        let Request::Batch(batch) = parse_request(ok).unwrap() else {
+            panic!("expected a batch");
+        };
+        assert_eq!(batch.request.as_deref(), Some("req-7"));
+
+        let long = format!(
+            r#"{{"request":"{}","queries":[{{"scheme":"base","machine":{{"interconnect":"bus","processors":4}}}}]}}"#,
+            "x".repeat(MAX_REQUEST_ID_LEN + 1)
+        );
+        assert!(parse_request(&long).unwrap_err().contains("request"));
+        let empty = r#"{"request":"","queries":[{"scheme":"base","machine":{"interconnect":"bus","processors":4}}]}"#;
+        assert!(parse_request(empty).is_err());
     }
 
     #[test]

@@ -67,11 +67,14 @@ use swcc_core::sensitivity::sensitivity_table_at;
 use swcc_core::system::{BusSystemModel, NetworkSystemModel};
 use swcc_core::workload::ParamId;
 
+use swcc_obs::MetricsRegistry;
+
 use crate::metrics;
 use crate::protocol::{
     error_response, parse_request, push_f64, push_json_str, Batch, Machine, Query, QueryKind,
-    Request, PROTOCOL_VERSION,
+    Request, TelemetryFormat, PROTOCOL_VERSION,
 };
+use crate::telemetry::{self, RequestTrace, Telemetry};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -86,6 +89,22 @@ pub struct ServeConfig {
     /// How long a coalesced query waits on another request's in-flight
     /// solve before re-claiming the point for itself.
     pub solve_timeout: Duration,
+    /// The process metrics registry, for the `telemetry` command's
+    /// cumulative section (`None` renders `"cumulative":null`). This is
+    /// the same registry the binary passes to [`swcc_obs::install`] —
+    /// the trait-object install API deliberately hides the concrete
+    /// snapshot type, so the server needs its own reference.
+    pub registry: Option<&'static MetricsRegistry>,
+    /// Optional bind address for the plain-text exposition listener
+    /// (`GET /metrics`, `/telemetry`, `/slow`).
+    pub telemetry_addr: Option<String>,
+    /// Optional structured JSONL access-log path (append-or-create).
+    pub access_log: Option<String>,
+    /// Requests slower than this many microseconds are captured into
+    /// the slow-request ring (`0` disables capture).
+    pub slow_threshold_us: f64,
+    /// Most slow-request captures retained (oldest evicted first).
+    pub slow_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +114,11 @@ impl Default for ServeConfig {
             workers: 4,
             read_timeout: Duration::from_secs(30),
             solve_timeout: Duration::from_secs(10),
+            registry: None,
+            telemetry_addr: None,
+            access_log: None,
+            slow_threshold_us: 100_000.0,
+            slow_capacity: 32,
         }
     }
 }
@@ -124,6 +148,8 @@ pub struct ServeState {
     connections: AtomicU64,
     solves: AtomicU64,
     solve_lanes: AtomicU64,
+    telemetry: Telemetry,
+    registry: Option<&'static MetricsRegistry>,
 }
 
 impl ServeState {
@@ -140,7 +166,40 @@ impl ServeState {
             connections: AtomicU64::new(0),
             solves: AtomicU64::new(0),
             solve_lanes: AtomicU64::new(0),
+            telemetry: Telemetry::new(
+                config.access_log.as_deref(),
+                config.slow_threshold_us,
+                config.slow_capacity,
+            ),
+            registry: config.registry,
         }
+    }
+
+    /// The live telemetry hub (windows, slow captures, access log).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Renders the `telemetry` snapshot response (JSON, with the
+    /// Prometheus exposition of the same snapshot inlined when asked).
+    pub fn telemetry_response(&self, format: TelemetryFormat) -> String {
+        self.telemetry
+            .capture(telemetry::epoch_seconds(), self.registry)
+            .to_response(format == TelemetryFormat::Prometheus)
+    }
+
+    /// Renders the `telemetry --slow` response: the retained captures,
+    /// oldest first.
+    pub fn slow_response(&self) -> String {
+        let mut out = String::from("{\"ok\":true,\"slow\":[");
+        for (i, capture) in self.telemetry.slow_captures().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(capture);
+        }
+        out.push_str("]}");
+        out
     }
 
     /// True once a shutdown has been requested.
@@ -170,6 +229,17 @@ impl ServeState {
             self.solves.load(Ordering::Relaxed),
             self.solve_lanes.load(Ordering::Relaxed),
         );
+        let _ = write!(
+            out,
+            "\"uptime_s\":{},\"build\":{{\"commit\":",
+            self.telemetry.uptime_s()
+        );
+        push_json_str(&mut out, telemetry::build_commit());
+        out.push_str(",\"rustc\":");
+        push_json_str(&mut out, telemetry::build_rustc());
+        out.push_str(",\"profile\":");
+        push_json_str(&mut out, telemetry::build_profile());
+        out.push_str("},");
         let _ = write!(
             out,
             "\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced\":{},\"inserts\":{},\
@@ -315,6 +385,7 @@ fn resolve_lanes<V: Copy>(
     lanes: &mut [Lane<V>],
     claims: &ClaimSet<'_, V>,
     timeout: Duration,
+    wait_us: &mut f64,
     solve_one: &mut dyn FnMut(&PointKey) -> Result<V, String>,
 ) -> Result<(), String> {
     for lane in lanes.iter_mut() {
@@ -329,11 +400,10 @@ fn resolve_lanes<V: Copy>(
             LaneState::Wait(flight) => {
                 let started = Instant::now();
                 let got = flight.wait_for(timeout);
+                let waited_us = started.elapsed().as_secs_f64() * 1e6;
+                *wait_us += waited_us;
                 if swcc_obs::enabled() {
-                    swcc_obs::observe(
-                        metrics::SERVE_FLIGHT_WAIT_US,
-                        started.elapsed().as_secs_f64() * 1e6,
-                    );
+                    swcc_obs::observe(metrics::SERVE_FLIGHT_WAIT_US, waited_us);
                 }
                 match got {
                     Some(v) => LaneState::Value(v, Provenance::Coalesced),
@@ -445,15 +515,36 @@ fn record_solve(state: &ServeState, lanes: usize) {
 /// Returns a message (already naming the offending query where one is
 /// identifiable) to be wrapped by [`error_response`].
 pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
+    run_batch_traced(state, batch, "", &mut RequestTrace::default())
+}
+
+/// [`run_batch`] with request-scoped attribution: the request id lands
+/// on the `serve.request` span and in the response; phase timings,
+/// cache split, and flight waits accumulate into `trace` for the
+/// access log and the slow-request capture.
+///
+/// # Errors
+///
+/// As [`run_batch`].
+pub fn run_batch_traced(
+    state: &ServeState,
+    batch: &Batch,
+    request_id: &str,
+    trace: &mut RequestTrace,
+) -> Result<String, String> {
     let started = Instant::now();
     let bus_system = BusSystemModel::new();
 
     // --- Plan: expand every query point to a cache key + demand. -----
+    let phase_started = Instant::now();
     let mut plans: Vec<QueryPlan> = Vec::with_capacity(batch.queries.len());
     let mut bus_lanes: Vec<Lane<BusPoint>> = Vec::new();
     let mut net_lanes: Vec<Lane<OperatingPoint>> = Vec::new();
     let mut points = 0u64;
     for (i, query) in batch.queries.iter().enumerate() {
+        // Log the protocol's wire spelling ("software-flush"), not the
+        // human Display name ("Software-Flush").
+        trace.note_scheme(&query.scheme.to_string().to_ascii_lowercase());
         match query.machine {
             Machine::Bus { processors } => {
                 if query.kind == QueryKind::Sensitivity {
@@ -506,6 +597,10 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
         }
     }
 
+    trace.queries = batch.queries.len() as u64;
+    trace.points = points;
+    trace.phase("plan", phase_started, started, 0);
+
     state.queries.fetch_add(points, Ordering::Relaxed);
     if swcc_obs::enabled() {
         swcc_obs::counter_add(metrics::SERVE_QUERIES, points);
@@ -514,12 +609,14 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
     let _span = swcc_obs::span(
         metrics::EV_SERVE_REQUEST,
         &[
+            swcc_obs::Field::text("request", request_id.to_string()),
             swcc_obs::Field::u64("queries", batch.queries.len() as u64),
             swcc_obs::Field::u64("points", points),
         ],
     );
 
     // --- Admit: single-flight begin() on every point. ----------------
+    let phase_started = Instant::now();
     let mut acct = Acct::default();
     let mut bus_claims = ClaimSet::new(&state.bus_points);
     let mut net_claims = ClaimSet::new(&state.net_points);
@@ -535,11 +632,14 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
         &mut net_claims,
         &mut acct,
     );
+    trace.phase("admit", phase_started, started, 0);
 
     // --- Solve: drain all claims into one grid call per machine
     // family (bus grids are per distinct processor count).
     let bus_pending = bus_claims.pending_keys();
     if !bus_pending.is_empty() {
+        let phase_started = Instant::now();
+        let lanes_total = bus_pending.len() as u64;
         let mut groups: HashMap<u32, Vec<PointKey>> = HashMap::new();
         for key in bus_pending {
             groups.entry(key.machine).or_default().push(key);
@@ -567,9 +667,11 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
                 );
             }
         }
+        trace.phase("solve.bus", phase_started, started, lanes_total);
     }
     let net_pending = net_claims.pending_keys();
     if !net_pending.is_empty() {
+        let phase_started = Instant::now();
         let rates: Vec<f64> = net_pending
             .iter()
             .map(|k| f64::from_bits(k.think))
@@ -593,15 +695,24 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
         for (key, point) in net_pending.iter().zip(batch_solution.points()) {
             net_claims.publish(*key, *point);
         }
+        trace.phase(
+            "solve.network",
+            phase_started,
+            started,
+            net_pending.len() as u64,
+        );
     }
 
     // --- Resolve: settle coalesced waits (after our publishes, so a
     // duplicate key never deadlocks on itself).
+    let phase_started = Instant::now();
+    let mut flight_wait_us = 0.0;
     resolve_lanes(
         &state.bus_points,
         &mut bus_lanes,
         &bus_claims,
         state.solve_timeout,
+        &mut flight_wait_us,
         &mut solve_bus_one,
     )?;
     resolve_lanes(
@@ -609,15 +720,23 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
         &mut net_lanes,
         &net_claims,
         state.solve_timeout,
+        &mut flight_wait_us,
         &mut solve_net_one,
     )?;
+    trace.flight_wait_us = flight_wait_us;
+    trace.phase("resolve", phase_started, started, 0);
 
     // --- Render. ------------------------------------------------------
+    let phase_started = Instant::now();
     use std::fmt::Write as _;
     let mut out = String::with_capacity(64 + 24 * points as usize);
     out.push_str("{\"ok\":true");
     if let Some(id) = batch.id {
         let _ = write!(out, ",\"id\":{id}");
+    }
+    if !request_id.is_empty() {
+        out.push_str(",\"request\":");
+        push_json_str(&mut out, request_id);
     }
     out.push_str(",\"results\":[");
     for (qi, (plan, query)) in plans.iter().zip(&batch.queries).enumerate() {
@@ -660,11 +779,15 @@ pub fn run_batch(state: &ServeState, batch: &Batch) -> Result<String, String> {
         "],\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced\":{}}}",
         acct.hits, acct.misses, acct.coalesced
     );
+    trace.hits = acct.hits;
+    trace.misses = acct.misses;
+    trace.coalesced = acct.coalesced;
     if swcc_obs::enabled() {
         swcc_obs::counter_add(metrics::SERVE_CACHE_HITS, acct.hits);
         swcc_obs::counter_add(metrics::SERVE_CACHE_MISSES, acct.misses);
         swcc_obs::counter_add(metrics::SERVE_CACHE_COALESCED, acct.coalesced);
     }
+    trace.phase("render", phase_started, started, 0);
     let _ = write!(
         out,
         ",\"elapsed_us\":{}}}",
@@ -798,12 +921,56 @@ fn render_net_query(
 /// Handles one request line, returning the response line and whether a
 /// shutdown was requested.
 pub fn handle_request(state: &ServeState, line: &str) -> (String, bool) {
+    let (response, shutdown, pending) = handle_request_deferred(state, line);
+    pending.finish(state);
+    (response, shutdown)
+}
+
+/// Everything a finished request needs recorded into telemetry, minus
+/// the final duration: the connection path calls [`PendingRecord::finish`]
+/// only after the response is flushed to the socket, so the recorded
+/// duration matches what a client measures (solve *and* serialization).
+#[derive(Debug)]
+pub struct PendingRecord {
+    cmd: &'static str,
+    ok: bool,
+    request_id: Option<String>,
+    trace: RequestTrace,
+    started: Instant,
+}
+
+impl PendingRecord {
+    /// Folds the request into the windows / access log / slow ring,
+    /// with the duration measured up to now.
+    pub fn finish(self, state: &ServeState) {
+        let duration_us = self.started.elapsed().as_secs_f64() * 1e6;
+        if swcc_obs::enabled() {
+            swcc_obs::observe(metrics::SERVE_REQUEST_US, duration_us);
+        }
+        let rid = self
+            .request_id
+            .unwrap_or_else(|| state.telemetry.next_request_id());
+        state.telemetry.record(
+            telemetry::epoch_seconds(),
+            &rid,
+            self.cmd,
+            self.ok,
+            duration_us,
+            &self.trace,
+        );
+    }
+}
+
+/// [`handle_request`] with telemetry recording deferred to the caller.
+pub fn handle_request_deferred(state: &ServeState, line: &str) -> (String, bool, PendingRecord) {
     let started = Instant::now();
     state.requests.fetch_add(1, Ordering::Relaxed);
     if swcc_obs::enabled() {
         swcc_obs::counter_add(metrics::SERVE_REQUESTS, 1);
     }
-    let (response, shutdown) = match parse_request(line) {
+    let mut trace = RequestTrace::default();
+    let mut request_id: Option<String> = None;
+    let (cmd, response, shutdown, ok) = match parse_request(line) {
         Err(e) => {
             state.errors.fetch_add(1, Ordering::Relaxed);
             if swcc_obs::enabled() {
@@ -814,32 +981,57 @@ pub fn handle_request(state: &ServeState, line: &str) -> (String, bool) {
             let id = serde_json::from_str::<serde::Value>(line)
                 .ok()
                 .and_then(|v| v.get_field("id").and_then(serde::Value::as_u64));
-            (error_response(id, &e), false)
+            ("error", error_response(id, &e), false, false)
         }
         Ok(Request::Ping) => (
+            "ping",
             format!("{{\"ok\":true,\"pong\":true,\"version\":\"{PROTOCOL_VERSION}\"}}"),
             false,
+            true,
         ),
-        Ok(Request::Stats) => (state.stats_response(), false),
+        Ok(Request::Stats) => ("stats", state.stats_response(), false, true),
+        Ok(Request::Telemetry { slow, format }) => {
+            if swcc_obs::enabled() {
+                swcc_obs::counter_add(metrics::SERVE_TELEMETRY_REQUESTS, 1);
+            }
+            let response = if slow {
+                state.slow_response()
+            } else {
+                state.telemetry_response(format)
+            };
+            ("telemetry", response, false, true)
+        }
         Ok(Request::Shutdown) => {
             state.request_shutdown();
-            ("{\"ok\":true,\"shutting_down\":true}".to_string(), true)
+            (
+                "shutdown",
+                "{\"ok\":true,\"shutting_down\":true}".to_string(),
+                true,
+                true,
+            )
         }
         Ok(Request::Batch(batch)) => {
             let id = batch.id;
+            let rid = batch
+                .request
+                .clone()
+                .unwrap_or_else(|| state.telemetry.next_request_id());
             // A panic while solving must not take down the worker: the
             // ClaimSet drops during unwinding (waking coalesced
             // waiters), and the client gets an error naming its
             // request instead of a dead connection.
-            let outcome = catch_unwind(AssertUnwindSafe(|| run_batch(state, &batch)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                run_batch_traced(state, &batch, &rid, &mut trace)
+            }));
+            request_id = Some(rid);
             match outcome {
-                Ok(Ok(response)) => (response, false),
+                Ok(Ok(response)) => ("batch", response, false, true),
                 Ok(Err(e)) => {
                     state.errors.fetch_add(1, Ordering::Relaxed);
                     if swcc_obs::enabled() {
                         swcc_obs::counter_add(metrics::SERVE_ERRORS, 1);
                     }
-                    (error_response(id, &e), false)
+                    ("batch", error_response(id, &e), false, false)
                 }
                 Err(panic) => {
                     state.errors.fetch_add(1, Ordering::Relaxed);
@@ -852,20 +1044,26 @@ pub fn handle_request(state: &ServeState, line: &str) -> (String, bool) {
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "opaque panic payload".to_string());
                     (
+                        "batch",
                         error_response(id, &format!("internal panic while solving: {detail}")),
+                        false,
                         false,
                     )
                 }
             }
         }
     };
-    if swcc_obs::enabled() {
-        swcc_obs::observe(
-            metrics::SERVE_REQUEST_US,
-            started.elapsed().as_secs_f64() * 1e6,
-        );
-    }
-    (response, shutdown)
+    (
+        response,
+        shutdown,
+        PendingRecord {
+            cmd,
+            ok,
+            request_id,
+            trace,
+            started,
+        },
+    )
 }
 
 fn serve_connection(
@@ -898,10 +1096,13 @@ fn serve_connection(
         if trimmed.is_empty() {
             continue;
         }
-        let (response, shutdown) = handle_request(state, trimmed);
+        let (response, shutdown, pending) = handle_request_deferred(state, trimmed);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        // Recorded after the flush so the windowed latency matches what
+        // a client measures (serialization and socket write included).
+        pending.finish(state);
         if shutdown {
             return Ok(true);
         }
@@ -912,6 +1113,7 @@ fn serve_connection(
 #[derive(Debug)]
 pub struct RunningServer {
     addr: SocketAddr,
+    telemetry_addr: Option<SocketAddr>,
     state: Arc<ServeState>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -920,6 +1122,11 @@ impl RunningServer {
     /// The bound address (resolves `:0` to the chosen port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound exposition-listener address, when one was configured.
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry_addr
     }
 
     /// The shared state (stats and caches), for in-process inspection.
@@ -934,6 +1141,9 @@ impl RunningServer {
             // Each connect pops one blocked accept; the worker sees the
             // flag and exits.
             let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(addr) = self.telemetry_addr {
+            let _ = TcpStream::connect(addr);
         }
     }
 
@@ -957,7 +1167,7 @@ pub fn spawn(config: ServeConfig) -> io::Result<RunningServer> {
     let listener = Arc::new(listener);
     let state = Arc::new(ServeState::new(&config));
     let workers = config.workers.max(1);
-    let mut handles = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers + 1);
     for i in 0..workers {
         let listener = Arc::clone(&listener);
         let state = Arc::clone(&state);
@@ -967,11 +1177,87 @@ pub fn spawn(config: ServeConfig) -> io::Result<RunningServer> {
             .spawn(move || worker_loop(&listener, &state, addr, read_timeout))?;
         handles.push(handle);
     }
+    let telemetry_addr = match &config.telemetry_addr {
+        None => None,
+        Some(bind) => {
+            let telemetry_listener = TcpListener::bind(bind)?;
+            let telemetry_addr = telemetry_listener.local_addr()?;
+            let state = Arc::clone(&state);
+            let handle = thread::Builder::new()
+                .name("swcc-serve-telemetry".to_string())
+                .spawn(move || telemetry_loop(&telemetry_listener, &state))?;
+            handles.push(handle);
+            Some(telemetry_addr)
+        }
+    };
     Ok(RunningServer {
         addr,
+        telemetry_addr,
         state,
         handles,
     })
+}
+
+/// The exposition listener: a deliberately minimal HTTP/1.0-style
+/// responder for scrapers. `GET /metrics` returns the Prometheus text
+/// exposition, `GET /telemetry` the JSON snapshot, `GET /slow` the
+/// slow-request captures. One request per connection.
+fn telemetry_loop(listener: &TcpListener, state: &Arc<ServeState>) {
+    loop {
+        if state.shutting_down() {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if state.shutting_down() {
+            return;
+        }
+        let _ = serve_scrape(state, stream);
+    }
+}
+
+fn serve_scrape(state: &ServeState, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => {
+            let snapshot = state
+                .telemetry
+                .capture(telemetry::epoch_seconds(), state.registry);
+            (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                snapshot.to_prometheus(),
+            )
+        }
+        "/telemetry" => (
+            "200 OK",
+            "application/json",
+            state.telemetry_response(TelemetryFormat::Json),
+        ),
+        "/slow" => ("200 OK", "application/json", state.slow_response()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "unknown path; try /metrics, /telemetry, /slow\n".to_string(),
+        ),
+    };
+    if swcc_obs::enabled() {
+        swcc_obs::counter_add(metrics::SERVE_TELEMETRY_SCRAPES, 1);
+    }
+    let mut writer = BufWriter::new(stream);
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
 }
 
 fn worker_loop(
@@ -1161,6 +1447,7 @@ mod tests {
         let state = state();
         let pathological = Batch {
             id: Some(7),
+            request: None,
             compact: false,
             queries: vec![Query {
                 kind: QueryKind::Sensitivity,

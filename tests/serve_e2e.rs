@@ -32,6 +32,7 @@ fn start(workers: usize) -> RunningServer {
         workers,
         read_timeout: Duration::from_secs(5),
         solve_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
     })
     .expect("bind a loopback listener")
 }
@@ -333,6 +334,82 @@ fn shutdown_command_stops_the_server() {
     assert!(ok(&response));
     assert!(server.state().shutting_down());
     // join() returning proves the whole pool drained.
+    server.join();
+}
+
+#[test]
+fn stats_carry_uptime_and_build_provenance() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+    let stats = client.send(r#"{"cmd":"stats"}"#);
+    assert!(ok(&stats));
+    let inner = stats.get_field("stats").expect("stats object");
+    let uptime = inner
+        .get_field("uptime_s")
+        .and_then(Value::as_f64)
+        .expect("stats has uptime_s");
+    assert!(uptime >= 0.0);
+    let build = inner.get_field("build").expect("stats has build");
+    for field in ["commit", "rustc", "profile"] {
+        let v = build
+            .get_field(field)
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("build has string {field}"));
+        assert!(!v.is_empty(), "{field} must be non-empty");
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn telemetry_command_reports_windows_uptime_and_build() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+    // Generate some traffic first so the windows have something in them.
+    let batch = client
+        .send(r#"{"queries":[{"scheme":"base","machine":{"interconnect":"bus","processors":4}}]}"#);
+    assert!(ok(&batch));
+    let telemetry = client.send(r#"{"cmd":"telemetry"}"#);
+    assert!(ok(&telemetry), "{}", client.response);
+    assert_eq!(
+        telemetry.get_field("schema").and_then(Value::as_str),
+        Some(swcc_serve::TELEMETRY_SCHEMA)
+    );
+    assert!(telemetry
+        .get_field("uptime_s")
+        .and_then(Value::as_f64)
+        .is_some());
+    assert!(telemetry.get_field("build").is_some());
+    let windows = telemetry
+        .get_field("windows")
+        .and_then(|w| w.get_field("windows"))
+        .and_then(Value::as_array)
+        .expect("telemetry has windows.windows[]");
+    assert_eq!(windows.len(), 3, "1s / 10s / 60s");
+    // No registry was installed into this config → cumulative is null.
+    let cumulative = telemetry.get_field("cumulative").expect("field present");
+    assert!(cumulative.is_null(), "{cumulative:?}");
+    // The slow view always answers, even when empty.
+    let slow = client.send(r#"{"cmd":"telemetry","slow":true}"#);
+    assert!(ok(&slow));
+    assert!(slow.get_field("slow").and_then(Value::as_array).is_some());
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn batch_responses_echo_the_client_request_id() {
+    let server = start(1);
+    let mut client = Client::connect(&server);
+    let response = client.send(
+        r#"{"request":"trace-me-7","queries":[{"scheme":"base","machine":{"interconnect":"bus","processors":4}}]}"#,
+    );
+    assert!(ok(&response));
+    assert_eq!(
+        response.get_field("request").and_then(Value::as_str),
+        Some("trace-me-7")
+    );
+    server.shutdown();
     server.join();
 }
 
