@@ -10,6 +10,8 @@
 //! repro history [--last K] [--tolerance PCT]  show run history + drift gate
 //!               [--loadgen-report PATH ...]    …and trend loadgen steady p99
 //! repro report --html PATH [trace.jsonl]      write the HTML run dashboard
+//! repro sim-report [--quick] [--json]         model-vs-sim residuals + event mix
+//!                  [--out PATH]                …with a JSON copy written to PATH
 //! repro accuracy [--quick] [--baseline PATH]  run the model-accuracy gate
 //! repro --version                             print version + build provenance
 //!
@@ -45,6 +47,11 @@
 //! report that lacks the quantity (a v1 report, or a run without
 //! `--timeline`).
 //! `report --html` writes a single-file dependency-free dashboard.
+//! `sim-report` reruns the full validation matrix and prints, per
+//! validation point, the model-vs-sim residuals (power, miss rates,
+//! bus utilization), plus per-protocol coherence-event breakdowns and
+//! the raw workload-measurement counters; `--out PATH` additionally
+//! writes the machine-readable `swcc-sim-report/v1` JSON document.
 //! `accuracy` re-runs the validation figures against the checked-in
 //! tolerance baseline (`baselines/accuracy.json`) and exits nonzero on
 //! a breach.
@@ -72,6 +79,7 @@ use swcc_experiments::html_report::render_dashboard;
 use swcc_experiments::manifest::{BuildProvenance, ManifestOptions, RunManifest};
 use swcc_experiments::registry::{find, RunOptions, EXPERIMENTS};
 use swcc_experiments::runner::{self, default_jobs, run_selected_observed};
+use swcc_experiments::sim_report;
 use swcc_experiments::trace_export::{export, ExportFormat};
 use swcc_experiments::trace_report;
 
@@ -104,6 +112,7 @@ fn usage() {
          \x20      history [--last K] [--tolerance PCT] [--history-file PATH]\n\
          \x20              [--loadgen-report PATH ...] |\n\
          \x20      report --html PATH [trace.jsonl] [--history-file PATH] |\n\
+         \x20      sim-report [--quick] [--json] [--out PATH] |\n\
          \x20      accuracy [--quick] [--baseline PATH] |\n\
          \x20      all [options] | <id>... [options] | --version\n\
          options: [--quick] [--json] [--jobs N] [--metrics] [--manifest PATH]\n\
@@ -352,6 +361,41 @@ fn report_cmd(html_out: &str, trace_path: Option<&str>, history_file: &str) -> E
     ExitCode::SUCCESS
 }
 
+fn sim_report_cmd(quick: bool, json: bool, out: Option<&str>) -> ExitCode {
+    let opts = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::default()
+    };
+    let doc = sim_report::generate(quick, &opts.validation);
+    if let Some(path) = out {
+        let payload = match serde_json::to_string_pretty(&doc) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot serialize sim report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, payload + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote sim report to {path}");
+    }
+    if json {
+        match serde_json::to_string_pretty(&doc) {
+            Ok(s) => say!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize sim report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        say!("{}", sim_report::render(&doc).trim_end());
+    }
+    ExitCode::SUCCESS
+}
+
 fn accuracy_cmd(quick: bool, baseline_path: &str) -> ExitCode {
     let json = match std::fs::read_to_string(baseline_path) {
         Ok(j) => j,
@@ -586,6 +630,24 @@ fn main() -> ExitCode {
             history_file.as_deref().unwrap_or(DEFAULT_HISTORY_PATH),
         );
     }
+    if args.first().map(String::as_str) == Some("sim-report") {
+        let other = all_flag
+            || metrics
+            || record_history
+            || jobs.is_some()
+            || manifest_path.is_some()
+            || trace_path.is_some()
+            || baseline_path.is_some()
+            || format.is_some()
+            || history_option
+            || report_option
+            || history_file_option;
+        if other || args.len() > 1 {
+            eprintln!("usage: repro sim-report [--quick] [--json] [--out PATH]");
+            return ExitCode::FAILURE;
+        }
+        return sim_report_cmd(quick, json, out.as_deref());
+    }
     if args.first().map(String::as_str) == Some("accuracy") {
         let other =
             run_option || export_option || history_option || report_option || history_file_option;
@@ -607,8 +669,8 @@ fn main() -> ExitCode {
     }
     if export_option || history_option || report_option {
         eprintln!(
-            "--format/--out, --last/--tolerance/--loadgen-report, and --html only \
-             apply to the trace-export, history, and report subcommands"
+            "--format/--out, --last/--tolerance/--loadgen-report, and --html only apply \
+             to the trace-export, sim-report, history, and report subcommands"
         );
         usage();
         return ExitCode::FAILURE;
@@ -655,6 +717,7 @@ fn main() -> ExitCode {
     let observe = metrics || manifest_path.is_some() || record_history;
     let registry = if observe {
         let builder = swcc_core::metrics::register(swcc_obs::RegistryBuilder::new());
+        let builder = swcc_sim::metrics::register(builder);
         let registry: &'static swcc_obs::MetricsRegistry =
             Box::leak(Box::new(runner::register_metrics(builder).build()));
         if swcc_obs::install(registry).is_err() {

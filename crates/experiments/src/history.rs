@@ -23,9 +23,13 @@
 //! * **batch reference iterations** (lower is better; ceiling) — the
 //!   residual evaluations of a fixed 256-lane batch solve,
 //!   deterministic for a given batch engine.
+//! * **sim reference makespan** (lower is better; ceiling) — the final
+//!   cycle count of a fixed reference trace replay, deterministic for
+//!   a given simulator.
 //!
-//! Wall-clock time and batch throughput (lanes per second) are
-//! recorded for the trend table but never gated.
+//! Wall-clock time, batch throughput (lanes per second), and sim
+//! throughput (accesses per second) are recorded for the trend table
+//! but never gated.
 //! Records from `--quick` runs and full runs are never compared with
 //! each other (the workload differs by construction), and a record is
 //! only comparable when it covers the same number of experiments.
@@ -173,6 +177,44 @@ impl BatchStats {
     }
 }
 
+/// Simulator statistics: a fixed reference trace replay re-run at
+/// record time (the same re-measure-at-record-time shape as
+/// [`WarmStartStats`] and [`BatchStats`]), so sim wall-clock and
+/// throughput trend alongside the solver quantities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Trace records the reference replay processed.
+    pub reference_accesses: u64,
+    /// Final makespan (cycles) of the reference replay —
+    /// deterministic for a given simulator, so it is gated as a
+    /// ceiling like the solver iteration counts.
+    pub reference_makespan: u64,
+    /// Reference-replay throughput in accesses per second. Machine
+    /// dependent: shown in the trend table, never gated.
+    pub accesses_per_second: f64,
+    /// Reference-replay wall-clock milliseconds (trend only).
+    pub wall_ms: f64,
+}
+
+impl SimStats {
+    /// Replays the fixed reference trace (Dragon, 4 processors) and
+    /// measures throughput.
+    pub fn measure() -> SimStats {
+        use swcc_sim::{simulate, ProtocolKind, SimConfig};
+        let trace = swcc_trace::synth::pops_like(4, 10_000, 0xA7).generate();
+        let config = SimConfig::new(ProtocolKind::Dragon);
+        let start = Instant::now();
+        let report = simulate(&trace, &config);
+        let elapsed = start.elapsed().as_secs_f64();
+        SimStats {
+            reference_accesses: trace.len() as u64,
+            reference_makespan: report.makespan(),
+            accesses_per_second: trace.len() as f64 / elapsed.max(1e-12),
+            wall_ms: elapsed * 1e3,
+        }
+    }
+}
+
 /// One recorded run: a single line of `history/runs.jsonl`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistoryRecord {
@@ -197,6 +239,9 @@ pub struct HistoryRecord {
     /// Batch-engine counters and reference-grid measurement. `None`
     /// only for records written before the batch engine existed.
     pub batch: Option<BatchStats>,
+    /// Simulator reference-replay measurement. `None` only for records
+    /// written before sim telemetry existed.
+    pub sim: Option<SimStats>,
 }
 
 impl HistoryRecord {
@@ -248,6 +293,7 @@ impl HistoryRecord {
                 counter(core_metrics::BATCH_PATEL_BATCHES),
                 counter(core_metrics::BATCH_PATEL_LANES),
             )),
+            sim: Some(SimStats::measure()),
         }
     }
 
@@ -279,6 +325,12 @@ impl HistoryRecord {
             // `#[serde(default)]`, so read it through the mirror and
             // upgrade explicitly (same pattern as `RunManifestV1`).
             let early: HistoryRecordPreBatch =
+                serde_json::from_str(line).map_err(|e| format!("invalid history record: {e}"))?;
+            return Ok(early.upgrade());
+        }
+        if value.get_field("sim").is_none() {
+            // Pre-sim-telemetry record: same mirror-and-upgrade dance.
+            let early: HistoryRecordPreSim =
                 serde_json::from_str(line).map_err(|e| format!("invalid history record: {e}"))?;
             return Ok(early.upgrade());
         }
@@ -323,6 +375,41 @@ impl HistoryRecordPreBatch {
             solver: self.solver,
             warm_start: self.warm_start,
             batch: None,
+            sim: None,
+        }
+    }
+}
+
+/// The record shape written after the batch engine but before sim
+/// telemetry: [`HistoryRecord`] minus the `sim` section.
+#[derive(Debug, Clone, Deserialize)]
+struct HistoryRecordPreSim {
+    schema: String,
+    build: BuildProvenance,
+    quick: bool,
+    jobs: usize,
+    experiments: usize,
+    wall_ms: f64,
+    accuracy: Vec<AccuracyEntry>,
+    solver: SolverStats,
+    warm_start: WarmStartStats,
+    batch: Option<BatchStats>,
+}
+
+impl HistoryRecordPreSim {
+    fn upgrade(self) -> HistoryRecord {
+        HistoryRecord {
+            schema: self.schema,
+            build: self.build,
+            quick: self.quick,
+            jobs: self.jobs,
+            experiments: self.experiments,
+            wall_ms: self.wall_ms,
+            accuracy: self.accuracy,
+            solver: self.solver,
+            warm_start: self.warm_start,
+            batch: self.batch,
+            sim: None,
         }
     }
 }
@@ -420,13 +507,15 @@ impl DriftOutcome {
         self.rows.iter().all(|r| !r.drifted)
     }
 
-    /// Renders the verdict table.
+    /// Renders the verdict table. Notes (quantities skipped because
+    /// trailing records predate them) always print, so a silent gate
+    /// never masquerades as a passing one.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
         if self.rows.is_empty() {
-            for note in &self.notes {
-                let _ = writeln!(out, "note: {note}");
-            }
             out.push_str("drift: SKIPPED (insufficient history)\n");
             return out;
         }
@@ -499,6 +588,13 @@ fn gated_quantities(record: &HistoryRecord) -> Vec<(String, DriftDirection, f64)
             batch.reference_iterations as f64,
         ));
     }
+    if let Some(sim) = &record.sim {
+        out.push((
+            "sim reference makespan".to_string(),
+            DriftDirection::Ceiling,
+            sim.reference_makespan as f64,
+        ));
+    }
     for entry in &record.accuracy {
         out.push((
             format!("{} max rel error", entry.figure),
@@ -547,6 +643,7 @@ pub fn detect_drift(history: &[HistoryRecord], tolerance: f64) -> DriftOutcome {
     // band collapses; the absolute epsilon keeps noise from flagging.
     const EPSILON: f64 = 1e-9;
     let mut rows = Vec::new();
+    let mut notes = Vec::new();
     for (quantity, direction, current_value) in gated_quantities(current) {
         let trailing_values: Vec<f64> = comparable
             .iter()
@@ -558,8 +655,15 @@ pub fn detect_drift(history: &[HistoryRecord], tolerance: f64) -> DriftOutcome {
             })
             .collect();
         // A quantity must exist in every comparable record (a figure
-        // added this run has no trailing median yet).
+        // added this run has no trailing median yet). Say so explicitly
+        // rather than failing — old logs predate new quantities.
         if trailing_values.len() < comparable.len() {
+            notes.push(format!(
+                "{quantity}: SKIPPED ({} of {} comparable run(s) predate it; \
+                 record more history)",
+                comparable.len() - trailing_values.len(),
+                comparable.len()
+            ));
             continue;
         }
         let Some(trailing_median) = median(&trailing_values) else {
@@ -583,7 +687,7 @@ pub fn detect_drift(history: &[HistoryRecord], tolerance: f64) -> DriftOutcome {
         rows,
         compared: comparable.len(),
         tolerance,
-        notes: Vec::new(),
+        notes,
     }
 }
 
@@ -705,7 +809,7 @@ pub fn render_history(records: &[HistoryRecord], last: usize) -> String {
     );
     let _ = writeln!(
         out,
-        "  {:<4} {:<10} {:<5} {:>4} {:>10} {:>9} {:>13} {:>12} {:>11}",
+        "  {:<4} {:<10} {:<5} {:>4} {:>10} {:>9} {:>13} {:>12} {:>11} {:>11}",
         "#",
         "commit",
         "quick",
@@ -714,6 +818,7 @@ pub fn render_history(records: &[HistoryRecord], last: usize) -> String {
         "speedup",
         "resid evals",
         "batch l/s",
+        "sim acc/s",
         "worst err"
     );
     let offset = records.len() - shown.len();
@@ -728,9 +833,14 @@ pub fn render_history(records: &[HistoryRecord], last: usize) -> String {
             .as_ref()
             .map(|b| format!("{:.2e}", b.lanes_per_second))
             .unwrap_or_else(|| "-".to_string());
+        let sim_rate = r
+            .sim
+            .as_ref()
+            .map(|s| format!("{:.2e}", s.accesses_per_second))
+            .unwrap_or_else(|| "-".to_string());
         let _ = writeln!(
             out,
-            "  {:<4} {:<10} {:<5} {:>4} {:>10.1} {:>9.2} {:>13} {:>12} {:>11}",
+            "  {:<4} {:<10} {:<5} {:>4} {:>10.1} {:>9.2} {:>13} {:>12} {:>11} {:>11}",
             offset + i + 1,
             commit,
             r.quick,
@@ -739,6 +849,7 @@ pub fn render_history(records: &[HistoryRecord], last: usize) -> String {
             r.warm_start.iteration_speedup,
             r.solver.residual_evals,
             batch_rate,
+            sim_rate,
             worst
         );
     }
@@ -778,6 +889,12 @@ mod tests {
                 reference_iterations: 1200,
                 lanes_per_second: 2.5e7,
             }),
+            sim: Some(SimStats {
+                reference_accesses: 55_000,
+                reference_makespan: 90_000,
+                accesses_per_second: 5.0e6,
+                wall_ms: 11.0,
+            }),
         }
     }
 
@@ -791,10 +908,15 @@ mod tests {
 
     #[test]
     fn pre_batch_records_parse_and_skip_batch_gating() {
-        // A line written before the batch engine: no `batch` field.
+        // A line written before the batch engine: no `batch` field (and,
+        // being older still than the sim stats, no `sim` either).
         let mut r = record(true, 2.5, 9000, 0.12);
         r.batch = None;
-        let line = r.to_jsonl().replace(",\"batch\":null", "");
+        r.sim = None;
+        let line = r
+            .to_jsonl()
+            .replace(",\"batch\":null", "")
+            .replace(",\"sim\":null", "");
         assert!(!line.contains("batch"), "{line}");
         let parsed = HistoryRecord::from_jsonl(&line).unwrap();
         assert_eq!(parsed, r);
@@ -803,6 +925,7 @@ mod tests {
         // has no trailing median, so it is skipped, not failed.
         let mut old = record(true, 2.5, 9000, 0.12);
         old.batch = None;
+        old.sim = None;
         let history = [old.clone(), old, record(true, 2.5, 9000, 0.12)];
         let outcome = detect_drift(&history, DEFAULT_DRIFT_TOLERANCE);
         assert!(outcome.passed(), "{}", outcome.render());
@@ -831,6 +954,68 @@ mod tests {
             .find(|r| r.quantity == "batch reference iterations")
             .unwrap();
         assert!(row.drifted);
+    }
+
+    #[test]
+    fn pre_sim_records_parse_skip_sim_gating_and_say_so() {
+        // A line written after the batch engine but before sim
+        // telemetry: has `batch`, lacks `sim`.
+        let mut r = record(true, 2.5, 9000, 0.12);
+        r.sim = None;
+        let line = r.to_jsonl().replace(",\"sim\":null", "");
+        assert!(!line.contains("\"sim\""), "{line}");
+        let parsed = HistoryRecord::from_jsonl(&line).unwrap();
+        assert_eq!(parsed, r);
+
+        // Mixed history: simless predecessors mean the makespan
+        // ceiling has no trailing median — skipped with an explicit
+        // printed line, never failed.
+        let mut old = record(true, 2.5, 9000, 0.12);
+        old.sim = None;
+        let history = [old.clone(), old, record(true, 2.5, 9000, 0.12)];
+        let outcome = detect_drift(&history, DEFAULT_DRIFT_TOLERANCE);
+        assert!(outcome.passed(), "{}", outcome.render());
+        assert!(!outcome
+            .rows
+            .iter()
+            .any(|row| row.quantity == "sim reference makespan"));
+        let rendered = outcome.render();
+        assert!(
+            rendered.contains("sim reference makespan: SKIPPED"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn drifted_sim_makespan_fails_the_gate() {
+        let mut slow = record(true, 2.5, 9000, 0.12);
+        if let Some(sim) = &mut slow.sim {
+            sim.reference_makespan = 180_000; // simulator burning 2x cycles
+        }
+        let history = [
+            record(true, 2.5, 9000, 0.12),
+            record(true, 2.5, 9000, 0.12),
+            slow,
+        ];
+        let outcome = detect_drift(&history, DEFAULT_DRIFT_TOLERANCE);
+        assert!(!outcome.passed());
+        let row = outcome
+            .rows
+            .iter()
+            .find(|r| r.quantity == "sim reference makespan")
+            .unwrap();
+        assert!(row.drifted);
+    }
+
+    #[test]
+    fn sim_stats_reference_replay_is_deterministic() {
+        let a = SimStats::measure();
+        let b = SimStats::measure();
+        assert_eq!(a.reference_makespan, b.reference_makespan);
+        assert_eq!(a.reference_accesses, b.reference_accesses);
+        assert!(a.reference_accesses > 0);
+        assert!(a.accesses_per_second > 0.0);
+        assert!(a.wall_ms > 0.0);
     }
 
     #[test]

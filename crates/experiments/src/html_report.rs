@@ -8,9 +8,15 @@
 //! * **Iterations to tolerance** — the Patel solver's convergence
 //!   distribution as a bar chart plus p50/p90/p99 summary.
 //! * **Model-vs-sim accuracy** — the per-curve envelope table.
+//! * **Model-vs-sim divergence** — every traced validation point,
+//!   worst relative error first, with sim and model power side by
+//!   side.
+//! * **Coherence event mix** — per-protocol invalidation / update /
+//!   write-back / fill rates summed from the simulator's `sim.events`
+//!   summaries.
 //! * **History sparklines** — warm-start speedup, solver work,
-//!   accuracy, and wall-clock trends over the `history/runs.jsonl`
-//!   log.
+//!   accuracy, wall-clock, and simulator-throughput trends over the
+//!   `history/runs.jsonl` log.
 //!
 //! Chart styling follows the repo's data-viz conventions: one blue
 //! series hue (charts here never show two series), light/dark themes
@@ -319,6 +325,124 @@ fn section_accuracy(out: &mut String, report: &TraceReport) {
     out.push_str("</tbody></table></section>");
 }
 
+fn section_divergence(out: &mut String, report: &TraceReport) {
+    out.push_str("<section class=\"card\"><h2>Model vs simulation divergence</h2>");
+    if report.divergence.is_empty() {
+        out.push_str("<p class=\"note\">No validation points in the trace.</p></section>");
+        return;
+    }
+    out.push_str(
+        "<p class=\"note\">Per-point relative error, worst first — where on each curve \
+         the analytic model drifts from the trace-driven simulation.</p>",
+    );
+    let label = |p: &crate::trace_report::DivergencePoint| {
+        format!(
+            "{} {} {}K n={}",
+            p.preset,
+            p.protocol,
+            p.cache_bytes / 1024,
+            p.n
+        )
+    };
+    let mut worst: Vec<&crate::trace_report::DivergencePoint> = report.divergence.iter().collect();
+    worst.sort_by(|a, b| b.rel_error.total_cmp(&a.rel_error));
+    let rows: Vec<(String, f64)> = worst
+        .iter()
+        .take(10)
+        .map(|p| (label(p), p.rel_error * 100.0))
+        .collect();
+    out.push_str(&bar_chart(&rows, "% rel error"));
+    // Table twin: every point, in curve order.
+    out.push_str(
+        "<details><summary>Table view</summary><table>\
+         <thead><tr><th>preset</th><th>protocol</th><th>cache KiB</th><th>n</th>\
+         <th>sim power</th><th>model power</th><th>rel error</th></tr></thead><tbody>",
+    );
+    for p in &report.divergence {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{:.3}</td><td class=\"num\">{:.3}</td>\
+             <td class=\"num\">{:.1}%</td></tr>",
+            esc(&p.preset),
+            esc(&p.protocol),
+            p.cache_bytes / 1024,
+            p.n,
+            p.sim_power,
+            p.model_power,
+            p.rel_error * 100.0
+        );
+    }
+    out.push_str("</tbody></table></details></section>");
+}
+
+fn section_event_mix(out: &mut String, report: &TraceReport) {
+    out.push_str("<section class=\"card\"><h2>Coherence event mix</h2>");
+    if report.event_mix.is_empty() {
+        out.push_str(
+            "<p class=\"note\">No simulator event summaries in the trace — rerun with \
+             tracing through a simulation-backed experiment.</p></section>",
+        );
+        return;
+    }
+    out.push_str(
+        "<p class=\"note\">Coherence events per 1000 replayed accesses, summed over every \
+         traced simulator run — the protocols' bus behavior side by side.</p>",
+    );
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for r in &report.event_mix {
+        let per_k = |v: u64| {
+            if r.accesses > 0 {
+                v as f64 * 1000.0 / r.accesses as f64
+            } else {
+                0.0
+            }
+        };
+        for (event, value) in [
+            ("invalidations", r.invalidations),
+            ("updates", r.updates),
+            ("broadcasts", r.broadcasts),
+            ("write-backs", r.write_backs),
+            ("fills", r.fills),
+            ("bus transactions", r.bus_transactions),
+            ("flushes", r.flushes),
+        ] {
+            if value > 0 {
+                rows.push((format!("{} {event}", r.protocol), per_k(value)));
+            }
+        }
+    }
+    rows.truncate(14);
+    out.push_str(&bar_chart(&rows, "per 1k accesses"));
+    // Table twin: raw sums.
+    out.push_str(
+        "<details><summary>Table view</summary><table>\
+         <thead><tr><th>protocol</th><th>runs</th><th>accesses</th><th>inval</th>\
+         <th>update</th><th>bcast</th><th>wb</th><th>fill</th><th>bus</th><th>flush</th>\
+         </tr></thead><tbody>",
+    );
+    for r in &report.event_mix {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td></tr>",
+            esc(&r.protocol),
+            r.runs,
+            r.accesses,
+            r.invalidations,
+            r.updates,
+            r.broadcasts,
+            r.write_backs,
+            r.fills,
+            r.bus_transactions,
+            r.flushes
+        );
+    }
+    out.push_str("</tbody></table></details></section>");
+}
+
 fn section_history(out: &mut String, history: &[HistoryRecord]) {
     out.push_str("<section class=\"card\"><h2>Run history</h2>");
     if history.len() < 2 {
@@ -377,12 +501,26 @@ fn section_history(out: &mut String, history: &[HistoryRecord]) {
         "Wall clock (ms, machine-dependent)",
         history.iter().map(|r| r.wall_ms).collect(),
     );
+    spark(
+        out,
+        "Sim accesses/s (machine-dependent)",
+        history
+            .iter()
+            .map(|r| {
+                r.sim
+                    .as_ref()
+                    .map(|s| s.accesses_per_second)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect(),
+    );
     out.push_str("</div>");
     // Table twin.
     out.push_str(
         "<details><summary>Table view</summary><table>\
          <thead><tr><th>#</th><th>commit</th><th>quick</th><th>exps</th>\
-         <th>wall ms</th><th>speedup</th><th>resid evals</th><th>worst err</th></tr>\
+         <th>wall ms</th><th>speedup</th><th>resid evals</th><th>worst err</th>\
+         <th>sim acc/s</th></tr>\
          </thead><tbody>",
     );
     for (i, r) in history.iter().enumerate() {
@@ -391,11 +529,16 @@ fn section_history(out: &mut String, history: &[HistoryRecord]) {
             .worst_rel_error()
             .map(|e| format!("{:.2}%", e * 100.0))
             .unwrap_or_else(|| "-".to_string());
+        let sim_rate = r
+            .sim
+            .as_ref()
+            .map(|s| format!("{:.2e}", s.accesses_per_second))
+            .unwrap_or_else(|| "-".to_string());
         let _ = write!(
             out,
             "<tr><td class=\"num\">{}</td><td>{}</td><td>{}</td><td class=\"num\">{}</td>\
              <td class=\"num\">{:.1}</td><td class=\"num\">{:.2}</td>\
-             <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
+             <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
             i + 1,
             esc(&commit),
             r.quick,
@@ -403,7 +546,8 @@ fn section_history(out: &mut String, history: &[HistoryRecord]) {
             r.wall_ms,
             r.warm_start.iteration_speedup,
             r.solver.residual_evals,
-            worst
+            worst,
+            sim_rate
         );
     }
     out.push_str("</tbody></table></details></section>");
@@ -531,6 +675,8 @@ pub fn render_dashboard(trace: Option<&TraceReport>, history: &[HistoryRecord]) 
         section_phase_timings(&mut out, report);
         section_iterations(&mut out, report);
         section_accuracy(&mut out, report);
+        section_divergence(&mut out, report);
+        section_event_mix(&mut out, report);
     } else {
         out.push_str(
             "<section class=\"card\"><p class=\"note\">No trace supplied — run with \
@@ -547,7 +693,9 @@ pub fn render_dashboard(trace: Option<&TraceReport>, history: &[HistoryRecord]) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::{AccuracyEntry, BatchStats, SolverStats, WarmStartStats, HISTORY_SCHEMA};
+    use crate::history::{
+        AccuracyEntry, BatchStats, SimStats, SolverStats, WarmStartStats, HISTORY_SCHEMA,
+    };
     use crate::trace_report::analyze;
 
     fn sample_report() -> TraceReport {
@@ -557,8 +705,9 @@ mod tests {
                 r#"{"ev":"start","name":"patel.solve","span":2,"parent":1,"seq":1,"thread":1,"fields":{"warm":false,"legacy":false}}"#,
                 r#"{"ev":"point","name":"patel.result","span":2,"parent":2,"seq":2,"thread":1,"fields":{"iterations":5,"fallbacks":0,"converged":true}}"#,
                 r#"{"ev":"end","name":"patel.solve","span":2,"parent":1,"seq":3,"thread":1,"dur_ns":4000}"#,
-                r#"{"ev":"point","name":"validation.point","span":1,"parent":1,"seq":4,"thread":1,"fields":{"preset":"POPS","protocol":"Base","cache_bytes":65536,"rel_error":0.055}}"#,
-                r#"{"ev":"end","name":"runner.batch","span":1,"parent":0,"seq":5,"thread":1,"dur_ns":20000}"#,
+                r#"{"ev":"point","name":"validation.point","span":1,"parent":1,"seq":4,"thread":1,"fields":{"preset":"POPS","protocol":"Base","cache_bytes":65536,"n":2,"sim_power":1.8,"model_power":1.7,"rel_error":0.055}}"#,
+                r#"{"ev":"point","name":"sim.events","span":1,"parent":1,"seq":5,"thread":1,"fields":{"protocol":"Dragon","accesses":5000,"invalidations":0,"updates":40,"broadcasts":41,"write_backs":7,"fills":120,"bus_transactions":170,"flushes":0,"cycle_steals":80}}"#,
+                r#"{"ev":"end","name":"runner.batch","span":1,"parent":0,"seq":6,"thread":1,"dur_ns":20000}"#,
             ]
             .join("\n"),
         )
@@ -594,6 +743,12 @@ mod tests {
                     reference_iterations: 1200,
                     lanes_per_second: 2.5e7,
                 }),
+                sim: Some(SimStats {
+                    reference_accesses: 55_000,
+                    reference_makespan: 90_000,
+                    accesses_per_second: 5.0e6,
+                    wall_ms: 11.0,
+                }),
             })
             .collect()
     }
@@ -620,6 +775,10 @@ mod tests {
             "Phase timings",
             "Solver iterations to tolerance",
             "Model vs simulation accuracy",
+            "Model vs simulation divergence",
+            "Coherence event mix",
+            "Dragon updates",
+            "Sim accesses/s",
             "Run history",
             "Table view",
             "<svg",

@@ -47,6 +47,7 @@ pub mod manifest;
 pub mod plot;
 pub mod registry;
 pub mod runner;
+pub mod sim_report;
 pub mod tables;
 pub mod trace_export;
 pub mod trace_report;

@@ -123,6 +123,55 @@ pub struct AccuracyRow {
     pub max_rel_error: f64,
 }
 
+/// One traced model-vs-sim comparison, from a `validation.point` event.
+///
+/// Where [`AccuracyRow`] folds a curve down to its worst gap, this
+/// keeps every point — the raw material for the dashboard's divergence
+/// section and for spotting *where* on a curve the model drifts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergencePoint {
+    /// Trace preset name (`"POPS"`, `"PERO"`, ...).
+    pub preset: String,
+    /// Protocol name (`"Base"`, `"Dragon"`, ...).
+    pub protocol: String,
+    /// Cache size in bytes.
+    pub cache_bytes: u64,
+    /// Processor count at this point.
+    pub n: u64,
+    /// Processing power reported by the simulator.
+    pub sim_power: f64,
+    /// Processing power predicted by the analytical model.
+    pub model_power: f64,
+    /// `|model − sim| / sim`.
+    pub rel_error: f64,
+}
+
+/// Aggregate coherence-event mix for one protocol, summed over every
+/// `sim.events` point in the trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventMixRow {
+    /// Protocol name (`"Base"`, `"Dragon"`, ...).
+    pub protocol: String,
+    /// Simulator runs folded into this row.
+    pub runs: u64,
+    /// Trace accesses replayed.
+    pub accesses: u64,
+    /// Lines invalidated in remote caches.
+    pub invalidations: u64,
+    /// Remote lines refreshed by update broadcasts.
+    pub updates: u64,
+    /// Broadcast bus operations issued.
+    pub broadcasts: u64,
+    /// Dirty lines written back to memory.
+    pub write_backs: u64,
+    /// Cache line fills.
+    pub fills: u64,
+    /// Bus transactions arbitrated.
+    pub bus_transactions: u64,
+    /// Software flush operations (clean + dirty).
+    pub flushes: u64,
+}
+
 /// Everything `trace-report` extracts from one trace file.
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
@@ -142,6 +191,11 @@ pub struct TraceReport {
     pub convergence: ConvergenceSummary,
     /// Model-vs-sim accuracy rows, sorted by (preset, protocol, cache).
     pub accuracy: Vec<AccuracyRow>,
+    /// Every traced validation point, sorted by
+    /// (preset, protocol, cache, n).
+    pub divergence: Vec<DivergencePoint>,
+    /// Per-protocol coherence-event sums, sorted by protocol.
+    pub event_mix: Vec<EventMixRow>,
 }
 
 impl TraceReport {
@@ -274,6 +328,40 @@ impl TraceReport {
             }
         }
 
+        if !self.event_mix.is_empty() {
+            out.push_str("\ncoherence event mix\n");
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "protocol",
+                "runs",
+                "accesses",
+                "inval",
+                "update",
+                "bcast",
+                "wb",
+                "fill",
+                "bus",
+                "flush"
+            );
+            for r in &self.event_mix {
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    r.protocol,
+                    r.runs,
+                    r.accesses,
+                    r.invalidations,
+                    r.updates,
+                    r.broadcasts,
+                    r.write_backs,
+                    r.fills,
+                    r.bus_transactions,
+                    r.flushes
+                );
+            }
+        }
+
         if self.is_clean() {
             out.push_str("\nstatus: clean (no solver divergences)\n");
         } else {
@@ -359,6 +447,8 @@ pub fn analyze(jsonl: &str) -> TraceReport {
 
     // (preset, protocol, cache) → (points, worst error).
     let mut accuracy: BTreeMap<(String, String, u64), (u64, f64)> = BTreeMap::new();
+    // protocol → summed coherence events.
+    let mut event_mix: BTreeMap<String, EventMixRow> = BTreeMap::new();
     for event in &parsed.events {
         match event.kind {
             EventKind::SpanStart => {
@@ -391,9 +481,34 @@ pub fn analyze(jsonl: &str) -> TraceReport {
                         field_u64(event, "cache_bytes").unwrap_or(0),
                     );
                     let err = field_f64(event, "rel_error").unwrap_or(0.0);
-                    let entry = accuracy.entry(key).or_insert((0, 0.0));
+                    let entry = accuracy.entry(key.clone()).or_insert((0, 0.0));
                     entry.0 += 1;
                     entry.1 = entry.1.max(err);
+                    report.divergence.push(DivergencePoint {
+                        preset: key.0,
+                        protocol: key.1,
+                        cache_bytes: key.2,
+                        n: field_u64(event, "n").unwrap_or(0),
+                        sim_power: field_f64(event, "sim_power").unwrap_or(0.0),
+                        model_power: field_f64(event, "model_power").unwrap_or(0.0),
+                        rel_error: err,
+                    });
+                }
+                "sim.events" => {
+                    let protocol = field_str(event, "protocol").unwrap_or("?").to_string();
+                    let row = event_mix.entry(protocol.clone()).or_insert(EventMixRow {
+                        protocol,
+                        ..EventMixRow::default()
+                    });
+                    row.runs += 1;
+                    row.accesses += field_u64(event, "accesses").unwrap_or(0);
+                    row.invalidations += field_u64(event, "invalidations").unwrap_or(0);
+                    row.updates += field_u64(event, "updates").unwrap_or(0);
+                    row.broadcasts += field_u64(event, "broadcasts").unwrap_or(0);
+                    row.write_backs += field_u64(event, "write_backs").unwrap_or(0);
+                    row.fills += field_u64(event, "fills").unwrap_or(0);
+                    row.bus_transactions += field_u64(event, "bus_transactions").unwrap_or(0);
+                    row.flushes += field_u64(event, "flushes").unwrap_or(0);
                 }
                 _ => {}
             },
@@ -402,6 +517,15 @@ pub fn analyze(jsonl: &str) -> TraceReport {
     }
 
     report.convergence.iterations.sort_unstable();
+    report.divergence.sort_by(|a, b| {
+        (&a.preset, &a.protocol, a.cache_bytes, a.n).cmp(&(
+            &b.preset,
+            &b.protocol,
+            b.cache_bytes,
+            b.n,
+        ))
+    });
+    report.event_mix = event_mix.into_values().collect();
     report.accuracy = accuracy
         .into_iter()
         .map(
@@ -433,6 +557,7 @@ mod tests {
             r#"{"ev":"point","name":"patel.result","span":4,"parent":4,"seq":7,"thread":2,"fields":{"iterations":3,"fallbacks":0,"root":0.5,"converged":true}}"#,
             r#"{"ev":"end","name":"patel.solve","span":4,"parent":2,"seq":8,"thread":2,"dur_ns":2100}"#,
             r#"{"ev":"point","name":"validation.point","span":2,"parent":2,"seq":9,"thread":2,"fields":{"preset":"POPS","protocol":"Base","cache_bytes":65536,"n":2,"sim_power":1.8,"model_power":1.7,"rel_error":0.055}}"#,
+            r#"{"ev":"point","name":"sim.events","span":2,"parent":2,"seq":14,"thread":2,"fields":{"protocol":"Dragon","accesses":5000,"invalidations":0,"updates":40,"broadcasts":41,"write_backs":7,"fills":120,"bus_transactions":170,"flushes":0,"cycle_steals":80}}"#,
             r#"{"ev":"end","name":"runner.experiment","span":2,"parent":1,"seq":10,"thread":2,"dur_ns":9000000}"#,
             r#"{"ev":"start","name":"runner.experiment","span":5,"parent":1,"seq":11,"thread":3,"fields":{"id":"table1","worker":1,"queue_wait_ms":0.2}}"#,
             r#"{"ev":"end","name":"runner.experiment","span":5,"parent":1,"seq":12,"thread":3,"dur_ns":1000000}"#,
@@ -444,7 +569,7 @@ mod tests {
     #[test]
     fn parses_phase_timing_and_experiments() {
         let report = analyze(&sample_trace());
-        assert_eq!(report.events, 14);
+        assert_eq!(report.events, 15);
         assert_eq!(report.skipped, 0);
         assert_eq!(report.phases["patel.solve"].count, 2);
         assert_eq!(report.phases["patel.solve"].total_ns, 6300);
@@ -509,6 +634,38 @@ mod tests {
     }
 
     #[test]
+    fn keeps_every_divergence_point() {
+        let report = analyze(&sample_trace());
+        assert_eq!(report.divergence.len(), 1);
+        let p = &report.divergence[0];
+        assert_eq!(p.preset, "POPS");
+        assert_eq!(p.protocol, "Base");
+        assert_eq!(p.cache_bytes, 65536);
+        assert_eq!(p.n, 2);
+        assert!((p.sim_power - 1.8).abs() < 1e-12);
+        assert!((p.model_power - 1.7).abs() < 1e-12);
+        assert!((p.rel_error - 0.055).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_sim_events_per_protocol() {
+        let extra = r#"{"ev":"point","name":"sim.events","span":0,"parent":0,"seq":15,"thread":2,"fields":{"protocol":"Dragon","accesses":1000,"invalidations":0,"updates":10,"broadcasts":9,"write_backs":3,"fills":30,"bus_transactions":40,"flushes":0,"cycle_steals":20}}"#;
+        let report = analyze(&format!("{}\n{extra}", sample_trace()));
+        assert_eq!(report.event_mix.len(), 1);
+        let r = &report.event_mix[0];
+        assert_eq!(r.protocol, "Dragon");
+        assert_eq!(r.runs, 2);
+        assert_eq!(r.accesses, 6000);
+        assert_eq!(r.updates, 50);
+        assert_eq!(r.broadcasts, 50);
+        assert_eq!(r.write_backs, 10);
+        assert_eq!(r.fills, 150);
+        assert_eq!(r.bus_transactions, 210);
+        assert_eq!(r.invalidations, 0);
+        assert_eq!(r.flushes, 0);
+    }
+
+    #[test]
     fn render_includes_every_section() {
         let report = analyze(&sample_trace());
         let text = report.render();
@@ -518,6 +675,7 @@ mod tests {
             "experiment phases",
             "solver convergence",
             "model-vs-sim accuracy",
+            "coherence event mix",
             "status: clean",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
@@ -529,7 +687,7 @@ mod tests {
         let trace = format!("not json\n{}\n{{\"ev\":\"trunc", sample_trace());
         let report = analyze(&trace);
         assert_eq!(report.skipped, 2);
-        assert_eq!(report.events, 14, "good lines still parse");
+        assert_eq!(report.events, 15, "good lines still parse");
         assert!(report.is_clean(), "skips warn, they do not fail");
         assert!(report.render().contains("skipped 2 corrupt line(s)"));
     }

@@ -34,7 +34,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "metric-doc-drift",
-        "metric/span names in swcc_core::metrics and swcc_serve::metrics must match OBSERVABILITY.md's tables",
+        "metric/span names in swcc_core::metrics, swcc_sim::metrics, and swcc_serve::metrics must match OBSERVABILITY.md's tables",
     ),
 ];
 
@@ -389,8 +389,11 @@ fn safety_comment(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 
 /// The metric registries whose `pub const NAME: &str = "..."` names
 /// must stay in sync with OBSERVABILITY.md.
-pub const METRIC_REGISTRY_FILES: &[&str] =
-    &["crates/core/src/metrics.rs", "crates/serve/src/metrics.rs"];
+pub const METRIC_REGISTRY_FILES: &[&str] = &[
+    "crates/core/src/metrics.rs",
+    "crates/sim/src/metrics.rs",
+    "crates/serve/src/metrics.rs",
+];
 
 /// One registered metric/span name: the string value and where the
 /// const lives.

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 mod metric;
+pub mod progress;
 pub mod quantile;
 mod recorder;
 mod registry;
@@ -56,6 +57,7 @@ pub mod tree;
 pub mod window;
 
 pub use metric::{Counter, Gauge, Histogram};
+pub use progress::Progress;
 pub use recorder::{
     capture, counter_add, enabled, gauge_set, install, installed, observe, InstallError,
     NoopRecorder, Recorder,

@@ -41,14 +41,14 @@ pub mod cache;
 mod config;
 mod machine;
 pub mod measure;
+pub mod metrics;
 pub mod network;
 pub mod protocol;
 mod report;
 
 pub use config::{InterconnectKind, ServiceDiscipline, SharedPolicy, SimConfig, SimConfigBuilder};
-pub use machine::{
-    simulate, CpuCounters, Multiprocessor, EV_SIM_BUS_OP, EV_SIM_CACHE_FILL, EV_SIM_RUN,
-};
+pub use machine::{simulate, CpuCounters, Multiprocessor};
+pub use metrics::{EV_SIM_BUS_OP, EV_SIM_CACHE_FILL, EV_SIM_RUN};
 pub use network::{simulate_network, simulate_network_packet, NetworkSimConfig, NetworkSimReport};
 pub use protocol::ProtocolKind;
 pub use report::SimReport;

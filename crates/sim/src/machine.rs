@@ -18,27 +18,26 @@
 //! simulator uses the *fixed* service times of Table 1, which is exactly
 //! why the paper observes the model slightly overestimating contention.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use swcc_core::system::{CostModel, NetworkSystemModel, OpCost, Operation};
+use swcc_obs::Progress;
 use swcc_trace::{Access, AccessKind, Addr, BlockAddr, Trace};
 
 use crate::cache::{Cache, LineState};
 use crate::config::{InterconnectKind, ServiceDiscipline, SimConfig};
+use crate::metrics::{EV_SIM_BUS_OP, EV_SIM_CACHE_FILL, EV_SIM_EVENTS, EV_SIM_RUN};
 use crate::protocol::{base, dragon, no_cache, software_flush, write_invalidate, ProtocolKind};
 use crate::report::SimReport;
 
-/// Span around one whole trace replay ([`Multiprocessor::run`]).
-/// Fields: `protocol`, `cpus`, `accesses`.
-pub const EV_SIM_RUN: &str = "sim.run";
-/// Sampled per-transaction interconnect arbitration event. Fields:
-/// `cpu`, `op`, `request`, `wait`, `hold`.
-pub const EV_SIM_BUS_OP: &str = "sim.bus_op";
-/// Sampled cache fill (line transition) event. Fields: `cpu`, `block`,
-/// `dirty` (the inserted state), `dirty_victim` (a write-back happened).
-pub const EV_SIM_CACHE_FILL: &str = "sim.cache_fill";
+/// Replayed accesses between progress-heartbeat eligibility checks —
+/// cheap enough to leave on permanently, frequent enough that a
+/// 256-core run heartbeats well inside the throttle interval.
+const PROGRESS_CHECK_EVERY: u64 = 64 * 1024;
 
 /// Per-processor event counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -70,6 +69,16 @@ pub struct CpuCounters {
     pub dirty_flushes: u64,
     /// Write-broadcasts issued (Dragon).
     pub broadcasts: u64,
+    /// Copies this cache dropped on a snooped invalidation
+    /// (Write-Invalidate).
+    pub invalidations: u64,
+    /// Copies this cache updated in place on a snooped write-broadcast
+    /// (Dragon).
+    pub updates: u64,
+    /// Cache line fills (block insertions on a miss).
+    pub fills: u64,
+    /// Interconnect transactions this processor won arbitration for.
+    pub bus_transactions: u64,
     /// Cycles stolen by the cache controller while snooping (Dragon).
     pub cycle_steals: u64,
     /// Cycles spent waiting for the bus.
@@ -178,12 +187,17 @@ impl Multiprocessor {
         } else {
             swcc_obs::span(EV_SIM_RUN, &[])
         };
+        let start = Instant::now();
+        let mut progress = Progress::new(crate::metrics::EV_SIM_PROGRESS, trace.len() as u64)
+            .check_every(PROGRESS_CHECK_EVERY)
+            .gauge(crate::metrics::SIM_ACCESSES_PER_SECOND);
         // Split the trace into per-cpu substreams.
         let mut streams: Vec<Vec<Access>> = vec![Vec::new(); self.time.len()];
         for a in trace {
             streams[a.cpu.index()].push(*a);
         }
         let mut cursors = vec![0usize; streams.len()];
+        let mut done = 0u64;
         loop {
             // Advance the processor with the smallest local clock that
             // still has records (ties: lowest id). Linear scan is fine
@@ -200,8 +214,74 @@ impl Multiprocessor {
             let access = streams[cpu][cursors[cpu]];
             cursors[cpu] += 1;
             self.step(cpu, access);
+            done += 1;
+            // The heartbeat only *reads* progress; it cannot perturb the
+            // simulated state, so observed and unobserved runs stay
+            // bit-identical (tests/sim_observation.rs).
+            if progress.due(done) {
+                progress.tick(done);
+            }
         }
-        self.report()
+        let report = self.report();
+        self.record_run_metrics(&report, done, start);
+        report
+    }
+
+    /// Publishes one finished run's totals to the swcc-obs dispatch:
+    /// coherence-event counters, wall-clock, throughput, and (when a
+    /// trace sink is installed) the terminal `sim.events` summary.
+    fn record_run_metrics(&self, report: &SimReport, accesses: u64, start: Instant) {
+        use crate::metrics as m;
+        // Zero totals are skipped so the snapshot only carries the
+        // counters the protocol can actually generate (e.g. Dragon
+        // never invalidates).
+        let add = |name: &'static str, total: u64| {
+            if total > 0 {
+                swcc_obs::counter_add(name, total);
+            }
+        };
+        swcc_obs::counter_add(m::SIM_RUNS, 1);
+        swcc_obs::counter_add(m::SIM_ACCESSES, accesses);
+        add(m::SIM_INSTRUCTIONS, report.instructions());
+        add(m::SIM_DATA_MISSES, report.data_misses());
+        add(m::SIM_INSTR_MISSES, report.instr_misses());
+        add(m::SIM_INVALIDATIONS, report.invalidations());
+        add(m::SIM_UPDATES, report.updates());
+        add(m::SIM_BROADCASTS, report.broadcasts());
+        add(m::SIM_WRITE_BACKS, report.write_backs());
+        add(m::SIM_FILLS, report.fills());
+        add(m::SIM_BUS_TRANSACTIONS, report.bus_transactions());
+        add(m::SIM_CLEAN_FLUSHES, report.clean_flushes());
+        add(m::SIM_DIRTY_FLUSHES, report.dirty_flushes());
+        add(m::SIM_READ_THROUGHS, report.read_throughs());
+        add(m::SIM_WRITE_THROUGHS, report.write_throughs());
+        add(m::SIM_CYCLE_STEALS, report.cycle_steals());
+        add(m::SIM_CONTENTION_CYCLES, report.contention_cycles());
+        let wall = start.elapsed().as_secs_f64();
+        swcc_obs::observe(m::SIM_RUN_MS, wall * 1e3);
+        if wall > 0.0 {
+            swcc_obs::gauge_set(m::SIM_ACCESSES_PER_SECOND, accesses as f64 / wall);
+        }
+        if swcc_obs::trace_enabled() {
+            swcc_obs::event(
+                EV_SIM_EVENTS,
+                &[
+                    swcc_obs::Field::text("protocol", report.protocol().to_string()),
+                    swcc_obs::Field::u64("accesses", accesses),
+                    swcc_obs::Field::u64("invalidations", report.invalidations()),
+                    swcc_obs::Field::u64("updates", report.updates()),
+                    swcc_obs::Field::u64("broadcasts", report.broadcasts()),
+                    swcc_obs::Field::u64("write_backs", report.write_backs()),
+                    swcc_obs::Field::u64("fills", report.fills()),
+                    swcc_obs::Field::u64("bus_transactions", report.bus_transactions()),
+                    swcc_obs::Field::u64(
+                        "flushes",
+                        report.clean_flushes() + report.dirty_flushes(),
+                    ),
+                    swcc_obs::Field::u64("cycle_steals", report.cycle_steals()),
+                ],
+            );
+        }
     }
 
     /// Produces the report for the work simulated so far.
@@ -281,6 +361,7 @@ impl Multiprocessor {
             let grant = self.reserve(request, hold);
             let wait = grant - request;
             self.bus_busy += hold;
+            self.counters[cpu].bus_transactions += 1;
             self.counters[cpu].contention_cycles += wait;
             if swcc_obs::trace_enabled() {
                 swcc_obs::event_sampled(
@@ -389,6 +470,7 @@ impl Multiprocessor {
     pub(crate) fn fill(&mut self, cpu: usize, block: BlockAddr, state: LineState) -> bool {
         let ev = self.caches[cpu].insert(block, state);
         let dirty = ev.victim.is_some_and(|(_, s)| s.is_dirty());
+        self.counters[cpu].fills += 1;
         if dirty {
             self.counters[cpu].dirty_replacements += 1;
         }

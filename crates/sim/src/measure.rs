@@ -12,6 +12,7 @@
 
 use std::collections::HashSet;
 
+use serde::{Deserialize, Serialize};
 use swcc_core::workload::WorkloadParams;
 use swcc_trace::{AccessKind, BlockAddr, Trace};
 
@@ -21,7 +22,7 @@ use crate::config::SimConfig;
 use self::stats_ext::shared_blocks;
 
 /// Raw measurement counters, exposed for diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[non_exhaustive]
 pub struct MeasurementCounts {
     /// Data references.

@@ -112,6 +112,30 @@ impl NetworkSimReport {
     }
 }
 
+/// Records one completed network simulation into the swcc-obs registry
+/// and opens-and-closes its trace span. Called after the report is
+/// fully assembled, so observation can never perturb the simulated
+/// state (the determinism tests assert bit-equality either way).
+fn record_network_run(report: &NetworkSimReport, packet: bool) {
+    use crate::metrics as m;
+    let _span = if swcc_obs::trace_enabled() {
+        swcc_obs::span(
+            m::EV_SIM_NETWORK_RUN,
+            &[
+                swcc_obs::Field::text("scheme", report.scheme.to_string()),
+                swcc_obs::Field::u64("stages", u64::from(report.stages)),
+                swcc_obs::Field::bool("packet", packet),
+            ],
+        )
+    } else {
+        swcc_obs::span(m::EV_SIM_NETWORK_RUN, &[])
+    };
+    swcc_obs::counter_add(m::SIM_NETWORK_RUNS, 1);
+    swcc_obs::counter_add(m::SIM_NETWORK_TRANSACTIONS, report.transactions);
+    swcc_obs::counter_add(m::SIM_NETWORK_RETRIES, report.retries);
+    swcc_obs::counter_add(m::SIM_NETWORK_INSTRUCTIONS, report.instructions);
+}
+
 /// What a processor is doing this cycle.
 #[derive(Debug, Clone, Copy)]
 enum CpuPhase {
@@ -314,6 +338,7 @@ pub fn simulate_network(
     }
     report.cpu_cycles = finish.iter().sum();
     report.makespan = finish.iter().copied().max().unwrap_or(0);
+    record_network_run(&report, false);
     Ok(report)
 }
 
@@ -466,6 +491,7 @@ pub fn simulate_network_packet(
     }
     report.cpu_cycles = time.iter().sum();
     report.makespan = time.iter().copied().max().unwrap_or(0);
+    record_network_run(&report, true);
     Ok(report)
 }
 

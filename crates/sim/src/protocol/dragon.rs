@@ -62,6 +62,7 @@ fn store_update(m: &mut Multiprocessor, cpu: usize, block: BlockAddr) {
             // Snooping caches update their copy, stealing one cycle,
             // and lose any ownership (the writer is now the owner).
             m.caches[o].set_state(block, LineState::SharedClean);
+            m.counters[o].updates += 1;
             m.counters[o].cycle_steals += 1;
             m.bus_op(o, Operation::CycleSteal);
         }

@@ -79,6 +79,7 @@ fn upgrade(m: &mut Multiprocessor, cpu: usize, block: BlockAddr) {
 fn invalidate_others(m: &mut Multiprocessor, cpu: usize, block: BlockAddr) {
     for o in m.other_holders(cpu, block) {
         m.caches[o].invalidate(block);
+        m.counters[o].invalidations += 1;
         m.counters[o].cycle_steals += 1;
         m.bus_op(o, Operation::CycleSteal);
     }

@@ -138,6 +138,78 @@ impl SimReport {
     pub fn makespan(&self) -> u64 {
         self.makespan
     }
+
+    /// Total trace records replayed: instructions, data references, and
+    /// flush records.
+    pub fn accesses(&self) -> u64 {
+        self.instructions() + self.data_refs() + self.sum(|c| c.flush_records)
+    }
+
+    /// Copies dropped by snooped invalidations (Write-Invalidate).
+    pub fn invalidations(&self) -> u64 {
+        self.sum(|c| c.invalidations)
+    }
+
+    /// Copies updated in place by snooped write-broadcasts (Dragon).
+    pub fn updates(&self) -> u64 {
+        self.sum(|c| c.updates)
+    }
+
+    /// Write-broadcasts issued on the bus (Dragon updates and
+    /// Write-Invalidate upgrade invalidations).
+    pub fn broadcasts(&self) -> u64 {
+        self.sum(|c| c.broadcasts)
+    }
+
+    /// Dirty blocks written back to memory: dirty replacements plus
+    /// dirty software flushes.
+    pub fn write_backs(&self) -> u64 {
+        self.sum(|c| c.dirty_replacements + c.dirty_flushes)
+    }
+
+    /// Cache line fills (block insertions on a miss).
+    pub fn fills(&self) -> u64 {
+        self.sum(|c| c.fills)
+    }
+
+    /// Interconnect transactions arbitrated.
+    pub fn bus_transactions(&self) -> u64 {
+        self.sum(|c| c.bus_transactions)
+    }
+
+    /// Software flushes of clean or absent lines (Software-Flush).
+    pub fn clean_flushes(&self) -> u64 {
+        self.sum(|c| c.clean_flushes)
+    }
+
+    /// Software flushes that wrote a dirty line back (Software-Flush).
+    pub fn dirty_flushes(&self) -> u64 {
+        self.sum(|c| c.dirty_flushes)
+    }
+
+    /// Uncached shared loads (No-Cache).
+    pub fn read_throughs(&self) -> u64 {
+        self.sum(|c| c.read_throughs)
+    }
+
+    /// Uncached shared stores (No-Cache).
+    pub fn write_throughs(&self) -> u64 {
+        self.sum(|c| c.write_throughs)
+    }
+
+    /// Processor cycles stolen by snooping cache controllers.
+    pub fn cycle_steals(&self) -> u64 {
+        self.sum(|c| c.cycle_steals)
+    }
+
+    /// Processor cycles spent waiting for the interconnect.
+    pub fn contention_cycles(&self) -> u64 {
+        self.sum(|c| c.contention_cycles)
+    }
+
+    fn sum(&self, field: impl Fn(&CpuCounters) -> u64) -> u64 {
+        self.cpus.iter().map(field).sum()
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -227,6 +299,19 @@ mod tests {
             let u = r.bus_utilization();
             assert!((0.0..=1.0).contains(&u), "{p}: {u}");
         }
+    }
+
+    #[test]
+    fn coherence_event_totals_are_consistent() {
+        let d = report(ProtocolKind::Dragon);
+        assert!(d.fills() >= d.data_misses() + d.instr_misses());
+        assert!(d.bus_transactions() > 0);
+        assert!(d.updates() > 0, "snooped updates on a sharing workload");
+        assert_eq!(d.invalidations(), 0, "Dragon never invalidates");
+        let wi = report(ProtocolKind::WriteInvalidate);
+        assert!(wi.invalidations() > 0, "upgrades drop other copies");
+        assert_eq!(wi.updates(), 0, "Write-Invalidate never updates");
+        assert!(wi.write_backs() >= wi.counters(0).dirty_replacements);
     }
 
     #[test]

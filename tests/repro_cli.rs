@@ -815,6 +815,12 @@ fn synthetic_record(speedup: f64, evals: u64, err: f64) -> history::HistoryRecor
             reference_iterations: 1200,
             lanes_per_second: 2.5e7,
         }),
+        sim: Some(history::SimStats {
+            reference_accesses: 55_000,
+            reference_makespan: 90_000,
+            accesses_per_second: 5.0e6,
+            wall_ms: 11.0,
+        }),
     }
 }
 
@@ -932,6 +938,124 @@ fn history_below_the_median_window_skips_with_insufficient_history() {
     assert!(stdout.contains("insufficient history"), "{stdout}");
     assert!(stdout.contains("drift: SKIPPED"), "{stdout}");
     assert!(!stdout.contains("drift: FAILED"), "{stdout}");
+}
+
+#[test]
+fn history_skips_quantities_predating_the_record_with_a_note() {
+    // Records written before the sim-throughput stats existed must not
+    // fail the gate — the gate prints one explicit skip line for the
+    // quantity and moves on (same contract as the pre-batch records).
+    let log = TempManifest::new("history-presim");
+    let mut old = synthetic_record(2.50, 9000, 0.120);
+    old.sim = None;
+    let mut older = synthetic_record(2.52, 9010, 0.119);
+    older.sim = None;
+    for record in [older, old, synthetic_record(2.48, 8990, 0.121)] {
+        history::append_record(std::path::Path::new(log.path()), &record).unwrap();
+    }
+    let out = repro()
+        .args(["history", "--history-file", log.path()])
+        .output()
+        .expect("spawn repro history pre-sim");
+    assert!(
+        out.status.success(),
+        "pre-sim predecessors must not fail the gate: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("sim reference makespan: SKIPPED"),
+        "the skip must be explicit, not silent: {stdout}"
+    );
+    assert!(stdout.contains("predate it"), "{stdout}");
+    assert!(stdout.contains("drift: OK"), "{stdout}");
+    // The trend table still shows a sim-throughput column, dashed for
+    // the old records.
+    assert!(stdout.contains("sim acc/s"), "{stdout}");
+}
+
+// --- Sim report: repro sim-report -----------------------------------------
+
+#[test]
+fn sim_report_emits_schema_versioned_json_and_human_tables() {
+    let json_out = TempManifest::new("sim-report");
+    let out = repro()
+        .args(["sim-report", "--quick", "--out", json_out.path()])
+        .output()
+        .expect("spawn repro sim-report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Human tables on stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "sim report (swcc-sim-report/v1, quick profile)",
+        "model-vs-sim residuals per validation point:",
+        "coherence events per protocol:",
+        "measurement counts per validation curve:",
+        "totals:",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+
+    // Machine-readable document in the --out file.
+    let json = std::fs::read_to_string(json_out.path()).expect("sim report written");
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("sim report is JSON");
+    assert_eq!(
+        doc.get_field("schema").and_then(serde_json::Value::as_str),
+        Some("swcc-sim-report/v1")
+    );
+    let points = doc
+        .get_field("points")
+        .and_then(serde_json::Value::as_array)
+        .expect("points array");
+    assert_eq!(points.len(), 44, "full validation matrix");
+    for point in points {
+        for field in ["sim_power", "model_power", "power_rel_error"] {
+            assert!(
+                point
+                    .get_field(field)
+                    .and_then(serde_json::Value::as_f64)
+                    .is_some(),
+                "every point carries {field}"
+            );
+        }
+    }
+    let rate = doc
+        .get_field("totals")
+        .and_then(|t| t.get_field("accesses_per_second"))
+        .and_then(serde_json::Value::as_f64)
+        .expect("totals carry a throughput");
+    assert!(rate > 0.0, "accesses/s must be nonzero, got {rate}");
+    let protocols = doc
+        .get_field("protocols")
+        .and_then(serde_json::Value::as_array)
+        .expect("protocols array");
+    assert!(
+        protocols.len() >= 2,
+        "Base and Dragon both appear in the matrix"
+    );
+}
+
+#[test]
+fn sim_report_rejects_foreign_options() {
+    for argv in [
+        &["sim-report", "--jobs", "2"][..],
+        &["sim-report", "--metrics"],
+        &["sim-report", "--format", "chrome"],
+        &["sim-report", "extra-arg"],
+    ] {
+        let out = repro().args(argv).output().expect("spawn repro sim-report");
+        assert!(!out.status.success(), "{argv:?} must fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr)
+                .contains("usage: repro sim-report [--quick] [--json] [--out PATH]"),
+            "{argv:?}"
+        );
+    }
 }
 
 // --- Dashboard: repro report --html --------------------------------------

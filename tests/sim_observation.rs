@@ -1,0 +1,127 @@
+//! Observation changes nothing: simulator results are bit-identical
+//! with metrics and tracing enabled versus disabled.
+//!
+//! The simulator's coherence-event counters are part of its
+//! deterministic state, and the swcc-obs registry/trace emission only
+//! *reads* totals after a run — so installing a full recorder and a
+//! JSONL trace sink must not perturb a single bit of any report.
+//!
+//! Everything lives in ONE test function: `swcc_obs::install` /
+//! `install_sink` are once-per-process, so the unobserved baseline has
+//! to run before the recorder exists, and splitting the phases across
+//! `#[test]` functions would race on that process-wide state.
+
+use swcc_core::prelude::Scheme;
+use swcc_sim::{
+    simulate, simulate_network, simulate_network_packet, NetworkSimConfig, ProtocolKind, SimConfig,
+};
+use swcc_trace::synth::{pops_like, SynthConfig};
+use swcc_trace::Trace;
+
+fn bus_traces() -> Vec<(ProtocolKind, Trace)> {
+    let plain = pops_like(4, 8_000, 0xBEEF).generate();
+    let flushed = {
+        let mut b = SynthConfig::builder();
+        b.cpus(4)
+            .instructions_per_cpu(8_000)
+            .seed(0xBEEF)
+            .emit_flushes(true);
+        b.build().generate()
+    };
+    vec![
+        (ProtocolKind::Base, plain.clone()),
+        (ProtocolKind::Dragon, plain.clone()),
+        (ProtocolKind::NoCache, plain),
+        (ProtocolKind::SoftwareFlush, flushed),
+    ]
+}
+
+fn network_workload() -> swcc_core::workload::WorkloadParams {
+    swcc_core::workload::WorkloadParams::default()
+}
+
+#[test]
+fn observed_runs_are_bit_identical_to_unobserved() {
+    // --- Phase 1: unobserved baselines (no recorder, no sink). ---
+    let bus_baseline: Vec<String> = bus_traces()
+        .iter()
+        .map(|(protocol, trace)| {
+            let report = simulate(trace, &SimConfig::new(*protocol));
+            serde_json::to_string(&report).expect("report serializes")
+        })
+        .collect();
+    let net_config = NetworkSimConfig::new(3);
+    let workload = network_workload();
+    let net_baseline = serde_json::to_string(
+        &simulate_network(Scheme::Base, &workload, &net_config).expect("network sim runs"),
+    )
+    .expect("network report serializes");
+    let packet_baseline = serde_json::to_string(
+        &simulate_network_packet(Scheme::SoftwareFlush, &workload, &net_config)
+            .expect("packet sim runs"),
+    )
+    .expect("packet report serializes");
+
+    // --- Phase 2: full observation — the same registry chain the
+    // `repro` binary installs, plus an unsampled trace sink. ---
+    let builder = swcc_core::metrics::register(swcc_obs::RegistryBuilder::new());
+    let builder = swcc_sim::metrics::register(builder);
+    let registry: &'static swcc_obs::MetricsRegistry = Box::leak(Box::new(builder.build()));
+    swcc_obs::install(registry).expect("first install in this process");
+    let sink: &'static swcc_obs::JsonlSink =
+        Box::leak(Box::new(swcc_obs::JsonlSink::with_sampling(1_000_000, 1)));
+    swcc_obs::install_sink(sink).expect("first sink install in this process");
+
+    let bus_observed: Vec<String> = bus_traces()
+        .iter()
+        .map(|(protocol, trace)| {
+            let report = simulate(trace, &SimConfig::new(*protocol));
+            serde_json::to_string(&report).expect("report serializes")
+        })
+        .collect();
+    let net_observed = serde_json::to_string(
+        &simulate_network(Scheme::Base, &workload, &net_config).expect("network sim runs"),
+    )
+    .expect("network report serializes");
+    let packet_observed = serde_json::to_string(
+        &simulate_network_packet(Scheme::SoftwareFlush, &workload, &net_config)
+            .expect("packet sim runs"),
+    )
+    .expect("packet report serializes");
+
+    // --- Phase 3: bit-identical output, and observation really ran. ---
+    for ((protocol, _), (baseline, observed)) in bus_traces()
+        .iter()
+        .zip(bus_baseline.iter().zip(bus_observed.iter()))
+    {
+        assert_eq!(
+            baseline, observed,
+            "{protocol:?}: observed bus report differs from unobserved"
+        );
+    }
+    assert_eq!(net_baseline, net_observed, "network report differs");
+    assert_eq!(packet_baseline, packet_observed, "packet report differs");
+
+    assert!(
+        registry
+            .counter_value(swcc_sim::metrics::SIM_RUNS)
+            .unwrap_or(0)
+            >= 4,
+        "the observed phase should have recorded sim runs"
+    );
+    assert!(
+        registry
+            .counter_value(swcc_sim::metrics::SIM_ACCESSES)
+            .unwrap_or(0)
+            > 0,
+        "the observed phase should have recorded replayed accesses"
+    );
+    assert!(
+        registry
+            .counter_value(swcc_sim::metrics::SIM_NETWORK_RUNS)
+            .unwrap_or(0)
+            >= 2,
+        "the observed phase should have recorded network runs"
+    );
+    assert!(!sink.is_empty(), "tracing should have captured sim events");
+}
